@@ -1,0 +1,562 @@
+//! Campaign orchestration: executes the paper's scan pipeline (§3) against
+//! a generated universe and snapshots everything the tables/figures need.
+//!
+//! Weekly (stateless) scans: ZMap QUIC VN sweeps, DNS list resolutions,
+//! Alt-Svc collection. Week-18 stateful scans: TLS-over-TCP with/without
+//! SNI, and QScanner runs over the three target sources.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use dns::massdns::BulkResolver;
+use dns::resolver::Resolver;
+use goscanner::{Goscanner, TlsScanResult, TlsTarget};
+use internet::universe::{InputList, Universe, UniverseConfig};
+use qscanner::{QScanner, QuicScanResult, QuicTarget};
+use simnet::addr::Ipv4Addr;
+use simnet::{IpAddr, Network};
+use zmapq::modules::quic_vn::{QuicVnModule, VnResult};
+use zmapq::{ZmapConfig, ZmapScanner};
+
+/// Which discovery source produced an SNI target (bitmask).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SniSource;
+
+impl SniSource {
+    /// ZMap hits joined with DNS A/AAAA records.
+    pub const ZMAP_DNS: u8 = 1;
+    /// HTTP Alt-Svc headers from TLS-over-TCP scans.
+    pub const ALT_SVC: u8 = 2;
+    /// HTTPS DNS resource records.
+    pub const HTTPS_RR: u8 = 4;
+}
+
+/// Maximum domains scanned per IP address per source (Appendix A ethics).
+pub const MAX_DOMAINS_PER_IP: usize = 100;
+
+/// Per-host Alt-Svc observation from a weekly collection pass.
+#[derive(Debug, Clone)]
+pub struct AltSvcObservation {
+    /// Serving address.
+    pub addr: IpAddr,
+    /// Originating AS.
+    pub asn: u32,
+    /// Raw header value.
+    pub alt_svc: String,
+    /// Number of (domain, ip) pairs this host contributes.
+    pub domain_pairs: u64,
+}
+
+/// Stateless weekly snapshot (Figures 3, 5, 6, 7).
+pub struct WeeklySnapshot {
+    /// Calendar week.
+    pub week: u32,
+    /// IPv4 ZMap VN hits.
+    pub zmap_v4: Vec<VnResult>,
+    /// IPv6 ZMap VN hits.
+    pub zmap_v6: Vec<VnResult>,
+    /// Per input list: (domains resolved, domains with an h3 HTTPS RR).
+    pub dns_lists: Vec<(InputList, usize, usize)>,
+    /// Alt-Svc values per serving host with pair weights.
+    pub alt_svc: Vec<AltSvcObservation>,
+    /// AS number per IPv4 ZMap hit (resolved against the week's AS DB).
+    pub zmap_v4_asn: Vec<Option<u32>>,
+}
+
+/// One resolved domain with its addresses (the DNS join input).
+#[derive(Debug, Clone)]
+pub struct DomainResolution {
+    /// Name.
+    pub name: String,
+    /// IPv4 addresses (including ghosts).
+    pub v4: Vec<Ipv4Addr>,
+    /// IPv6 addresses.
+    pub v6: Vec<simnet::addr::Ipv6Addr>,
+    /// ALPN values of the HTTPS RR, when present.
+    pub https_alpn: Vec<String>,
+    /// ipv4hint addresses.
+    pub https_v4_hints: Vec<Ipv4Addr>,
+    /// ipv6hint addresses.
+    pub https_v6_hints: Vec<simnet::addr::Ipv6Addr>,
+}
+
+impl DomainResolution {
+    /// The HTTPS RR advertises HTTP/3.
+    pub fn https_indicates_quic(&self) -> bool {
+        self.https_alpn.iter().any(|a| a == "h3" || a.starts_with("h3-"))
+    }
+}
+
+/// The §3.1 padding ablation result.
+#[derive(Debug, Clone, Default)]
+pub struct PaddingExperiment {
+    /// Hits with the standard 1200-byte probe.
+    pub padded_hits: usize,
+    /// Hits with the unpadded probe.
+    pub unpadded_hits: usize,
+    /// Share of unpadded hits inside the single top AS.
+    pub unpadded_top_as_share: f64,
+}
+
+/// Full stateful snapshot for week 18 (§5).
+pub struct StatefulSnapshot {
+    /// The universe scanned (owns the AS DB).
+    pub universe: Universe,
+    /// ZMap discovery results.
+    pub zmap_v4: Vec<VnResult>,
+    /// IPv6 ZMap results.
+    pub zmap_v6: Vec<VnResult>,
+    /// Resolution of every known domain.
+    pub resolutions: Vec<DomainResolution>,
+    /// Addresses with TCP 443 open (v4).
+    pub tcp_open_v4: Vec<IpAddr>,
+    /// TLS-over-TCP scans without SNI (over ZMap v4+v6 hits).
+    pub tcp_no_sni: Vec<TlsScanResult>,
+    /// TLS-over-TCP scans with SNI over (addr, domain) pairs.
+    pub tcp_sni: Vec<TlsScanResult>,
+    /// QUIC stateful scans without SNI (v4 then v6; check `addr` family).
+    pub quic_no_sni: Vec<QuicScanResult>,
+    /// QUIC stateful scans with SNI, with their source masks.
+    pub quic_sni: Vec<(u8, QuicScanResult)>,
+    /// The padding ablation.
+    pub padding: PaddingExperiment,
+    /// Per input list totals (resolved, with h3 HTTPS RR) at week 18.
+    pub dns_lists: Vec<(InputList, usize, usize)>,
+}
+
+/// Campaign runner.
+pub struct Campaign {
+    /// Population multiplier (1.0 = default scale).
+    pub size_factor: f64,
+    /// Seed.
+    pub seed: u64,
+    /// Scan worker threads.
+    pub workers: usize,
+}
+
+impl Default for Campaign {
+    fn default() -> Self {
+        Campaign { size_factor: 1.0, seed: 0x9000, workers: 8 }
+    }
+}
+
+fn vantage_v4() -> IpAddr {
+    IpAddr::V4(Ipv4Addr::new(192, 0, 2, 10))
+}
+
+impl Campaign {
+    /// A reduced-size campaign for tests.
+    pub fn tiny() -> Self {
+        Campaign { size_factor: 0.05, seed: 0x9000, workers: 4 }
+    }
+
+    fn universe(&self, week: u32) -> Universe {
+        let mut cfg = UniverseConfig::week(week);
+        cfg.seed = self.seed;
+        cfg.size_factor = self.size_factor;
+        Universe::generate(cfg)
+    }
+
+    fn zmap(&self) -> ZmapScanner {
+        let mut cfg = ZmapConfig::new(simnet::SocketAddr::new(
+            Ipv4Addr::new(192, 0, 2, 10),
+            40_000,
+        ));
+        cfg.rate_pps = 10_000_000; // virtual pps; pacing is accounted, not waited
+        ZmapScanner::new(cfg)
+    }
+
+    /// Runs the stateless weekly scans for `week`.
+    pub fn run_weekly(&self, week: u32) -> WeeklySnapshot {
+        let universe = self.universe(week);
+        let net = universe.build_network();
+        let scanner = self.zmap();
+        let module = QuicVnModule::new(self.seed);
+        let zmap_v4 = scanner.scan_v4(&net, &universe.scan_prefixes(), &module);
+        let hitlist = universe.v6_hitlist();
+        let zmap_v6 = scanner.scan_v6(&net, &hitlist, &module);
+        let zmap_v4_asn =
+            zmap_v4.iter().map(|h| universe.asdb.lookup(&h.addr.ip)).collect();
+
+        // DNS list resolutions (Figure 3).
+        let zone = Arc::new(universe.zone());
+        let bulk = BulkResolver::new(Resolver::new(zone.clone()));
+        let mut dns_lists = Vec::new();
+        for list in InputList::all() {
+            let names = universe.input_list(list);
+            let mut with_rr = 0usize;
+            for name in &names {
+                let resolved = bulk.resolve_domain(name);
+                if resolved.https_indicates_quic() {
+                    with_rr += 1;
+                }
+            }
+            dns_lists.push((list, names.len(), with_rr));
+        }
+
+        // Alt-Svc collection: deduplicated per serving host (host-level
+        // headers make per-pair scans redundant), weighted by pair count.
+        let resolutions = resolve_all(&universe, &bulk);
+        let mut per_addr: HashMap<IpAddr, Vec<&DomainResolution>> = HashMap::new();
+        for r in &resolutions {
+            for v4 in &r.v4 {
+                per_addr.entry(IpAddr::V4(*v4)).or_default().push(r);
+            }
+            for v6 in &r.v6 {
+                per_addr.entry(IpAddr::V6(*v6)).or_default().push(r);
+            }
+        }
+        let goscan = Goscanner::new(vantage_v4(), self.seed ^ week as u64);
+        let mut probe_targets: Vec<(TlsTarget, u64)> = per_addr
+            .iter()
+            .map(|(addr, domains)| {
+                let capped = domains.len().min(MAX_DOMAINS_PER_IP) as u64;
+                let first = domains.first().expect("non-empty by construction");
+                (TlsTarget { addr: *addr, domain: Some(first.name.clone()) }, capped)
+            })
+            .collect();
+        probe_targets.sort_by(|a, b| a.0.addr.cmp(&b.0.addr));
+        let targets: Vec<TlsTarget> = probe_targets.iter().map(|(t, _)| t.clone()).collect();
+        let results = scan_tls_parallel(&goscan, &net, &targets, self.workers);
+        let mut alt_svc = Vec::new();
+        for (result, (target, pairs)) in results.iter().zip(&probe_targets) {
+            if let Some(value) = result.http.as_ref().and_then(|r| r.header("alt-svc")) {
+                alt_svc.push(AltSvcObservation {
+                    addr: target.addr,
+                    asn: universe.asdb.lookup(&target.addr).unwrap_or(0),
+                    alt_svc: value.to_string(),
+                    domain_pairs: *pairs,
+                });
+            }
+        }
+
+        WeeklySnapshot { week, zmap_v4, zmap_v6, dns_lists, alt_svc, zmap_v4_asn }
+    }
+
+    /// Runs the full stateful pipeline for week 18 (§5).
+    pub fn run_stateful(&self) -> StatefulSnapshot {
+        let week = 18;
+        let universe = self.universe(week);
+        let net = universe.build_network();
+        let zscanner = self.zmap();
+        let module = QuicVnModule::new(self.seed);
+
+        // 1. Discovery: ZMap QUIC VN (v4 sweep + v6 hitlist), TCP SYN sweep.
+        let zmap_v4 = zscanner.scan_v4(&net, &universe.scan_prefixes(), &module);
+        let hitlist = universe.v6_hitlist();
+        let zmap_v6 = zscanner.scan_v6(&net, &hitlist, &module);
+        let tcp_open_v4 = zscanner.scan_tcp_syn(&net, &universe.scan_prefixes());
+
+        // §3.1 padding ablation.
+        let unpadded = QuicVnModule::unpadded(self.seed);
+        let unpadded_hits = zscanner.scan_v4(&net, &universe.scan_prefixes(), &unpadded);
+        let padding = {
+            let mut by_as: HashMap<u32, usize> = HashMap::new();
+            for h in &unpadded_hits {
+                *by_as.entry(universe.asdb.lookup(&h.addr.ip).unwrap_or(0)).or_default() += 1;
+            }
+            let top = by_as.values().copied().max().unwrap_or(0);
+            PaddingExperiment {
+                padded_hits: zmap_v4.len(),
+                unpadded_hits: unpadded_hits.len(),
+                unpadded_top_as_share: if unpadded_hits.is_empty() {
+                    0.0
+                } else {
+                    top as f64 / unpadded_hits.len() as f64
+                },
+            }
+        };
+
+        // 2. DNS: resolve every known domain for joins + list statistics.
+        let zone = Arc::new(universe.zone());
+        let bulk = BulkResolver::new(Resolver::new(zone.clone()));
+        let resolutions = resolve_all(&universe, &bulk);
+        let mut dns_lists = Vec::new();
+        for list in InputList::all() {
+            let names = universe.input_list(list);
+            let mut with_rr = 0usize;
+            for name in &names {
+                if bulk.resolve_domain(name).https_indicates_quic() {
+                    with_rr += 1;
+                }
+            }
+            dns_lists.push((list, names.len(), with_rr));
+        }
+
+        // Build the addr → domains join (per-IP cap per source).
+        let mut v4_domains: HashMap<Ipv4Addr, Vec<usize>> = HashMap::new();
+        let mut v6_domains: HashMap<simnet::addr::Ipv6Addr, Vec<usize>> = HashMap::new();
+        for (di, r) in resolutions.iter().enumerate() {
+            for a in &r.v4 {
+                v4_domains.entry(*a).or_default().push(di);
+            }
+            for a in &r.v6 {
+                v6_domains.entry(*a).or_default().push(di);
+            }
+        }
+
+        // 3. TLS-over-TCP scans.
+        let goscan = Goscanner::new(vantage_v4(), self.seed ^ 0x7c9);
+        // 3a. Without SNI: over ZMap hits (both families).
+        let no_sni_targets: Vec<TlsTarget> = zmap_v4
+            .iter()
+            .chain(&zmap_v6)
+            .map(|h| TlsTarget { addr: h.addr.ip, domain: None })
+            .collect();
+        let tcp_no_sni = scan_tls_parallel(&goscan, &net, &no_sni_targets, self.workers);
+
+        // 3b. With SNI: TCP-open v4 addresses × joined domains (capped) plus
+        // the v6 AAAA pairs.
+        let tcp_open_set: HashSet<IpAddr> = tcp_open_v4.iter().copied().collect();
+        let mut sni_targets: Vec<TlsTarget> = Vec::new();
+        for (addr, domains) in &v4_domains {
+            if !tcp_open_set.contains(&IpAddr::V4(*addr)) {
+                continue;
+            }
+            for &di in domains.iter().take(MAX_DOMAINS_PER_IP) {
+                sni_targets.push(TlsTarget {
+                    addr: IpAddr::V4(*addr),
+                    domain: Some(resolutions[di].name.clone()),
+                });
+            }
+        }
+        for (addr, domains) in &v6_domains {
+            if !net.tcp_port_open(simnet::SocketAddr::new(*addr, 443)) {
+                continue;
+            }
+            for &di in domains.iter().take(MAX_DOMAINS_PER_IP) {
+                sni_targets.push(TlsTarget {
+                    addr: IpAddr::V6(*addr),
+                    domain: Some(resolutions[di].name.clone()),
+                });
+            }
+        }
+        sni_targets.sort_by(|a, b| (a.addr, &a.domain).cmp(&(b.addr, &b.domain)));
+        let tcp_sni = scan_tls_parallel(&goscan, &net, &sni_targets, self.workers);
+
+        // 4. QUIC stateful targets from the three sources.
+        let compatible = |versions: &[quic::Version]| {
+            versions.iter().any(|v| v.qscanner_compatible())
+        };
+        let mut sni_map: HashMap<(IpAddr, String), u8> = HashMap::new();
+
+        // Source 1: ZMap + DNS join (compat-filtered on announced versions).
+        let zmap_compat_v4: HashSet<Ipv4Addr> = zmap_v4
+            .iter()
+            .filter(|h| compatible(&h.versions))
+            .filter_map(|h| match h.addr.ip {
+                IpAddr::V4(a) => Some(a),
+                IpAddr::V6(_) => None,
+            })
+            .collect();
+        for (addr, domains) in &v4_domains {
+            if !zmap_compat_v4.contains(addr) {
+                continue;
+            }
+            for &di in domains.iter().take(MAX_DOMAINS_PER_IP) {
+                *sni_map
+                    .entry((IpAddr::V4(*addr), resolutions[di].name.clone()))
+                    .or_default() |= SniSource::ZMAP_DNS;
+            }
+        }
+        let zmap_compat_v6: HashSet<simnet::addr::Ipv6Addr> = zmap_v6
+            .iter()
+            .filter(|h| compatible(&h.versions))
+            .filter_map(|h| match h.addr.ip {
+                IpAddr::V6(a) => Some(a),
+                IpAddr::V4(_) => None,
+            })
+            .collect();
+        for (addr, domains) in &v6_domains {
+            if !zmap_compat_v6.contains(addr) {
+                continue;
+            }
+            for &di in domains.iter().take(MAX_DOMAINS_PER_IP) {
+                *sni_map
+                    .entry((IpAddr::V6(*addr), resolutions[di].name.clone()))
+                    .or_default() |= SniSource::ZMAP_DNS;
+            }
+        }
+
+        // Source 2: Alt-Svc pairs (h3 ALPN with a compatible draft).
+        for r in &tcp_sni {
+            let Some(domain) = &r.target.domain else { continue };
+            let alt = r.alt_services();
+            let ok = alt.iter().any(|s| {
+                matches!(s.alpn.as_str(), "h3" | "h3-29" | "h3-32" | "h3-34")
+            });
+            if ok {
+                *sni_map.entry((r.target.addr, domain.clone())).or_default() |=
+                    SniSource::ALT_SVC;
+            }
+        }
+
+        // Source 3: HTTPS RRs (hints + A records of RR-bearing domains).
+        for r in &resolutions {
+            if !r.https_indicates_quic() {
+                continue;
+            }
+            let ok = r
+                .https_alpn
+                .iter()
+                .any(|a| matches!(a.as_str(), "h3" | "h3-29" | "h3-32" | "h3-34"));
+            if !ok {
+                continue;
+            }
+            for a in r.https_v4_hints.iter().chain(&r.v4) {
+                *sni_map.entry((IpAddr::V4(*a), r.name.clone())).or_default() |=
+                    SniSource::HTTPS_RR;
+            }
+            for a in r.https_v6_hints.iter().chain(&r.v6) {
+                *sni_map.entry((IpAddr::V6(*a), r.name.clone())).or_default() |=
+                    SniSource::HTTPS_RR;
+            }
+        }
+
+        let mut sni_pairs: Vec<((IpAddr, String), u8)> = sni_map.into_iter().collect();
+        sni_pairs.sort_by(|a, b| a.0.cmp(&b.0));
+
+        // 5. Stateful QUIC scans.
+        let qscan = QScanner::new(vantage_v4(), self.seed ^ 0x9c5);
+        let no_sni_quic_targets: Vec<QuicTarget> = zmap_v4
+            .iter()
+            .chain(&zmap_v6)
+            .filter(|h| compatible(&h.versions))
+            .map(|h| QuicTarget { addr: h.addr.ip, sni: None })
+            .collect();
+        let quic_no_sni = qscan.scan_many(&net, &no_sni_quic_targets, self.workers);
+
+        let sni_quic_targets: Vec<QuicTarget> = sni_pairs
+            .iter()
+            .map(|((addr, domain), _)| QuicTarget { addr: *addr, sni: Some(domain.clone()) })
+            .collect();
+        let sni_results = qscan.scan_many(&net, &sni_quic_targets, self.workers);
+        let quic_sni: Vec<(u8, QuicScanResult)> = sni_pairs
+            .into_iter()
+            .map(|(_, mask)| mask)
+            .zip(sni_results)
+            .map(|(mask, r)| (mask, r))
+            .collect();
+
+        StatefulSnapshot {
+            universe,
+            zmap_v4,
+            zmap_v6,
+            resolutions,
+            tcp_open_v4,
+            tcp_no_sni,
+            tcp_sni,
+            quic_no_sni,
+            quic_sni,
+            padding,
+            dns_lists,
+        }
+    }
+}
+
+/// Resolves every domain known to the universe.
+fn resolve_all(universe: &Universe, bulk: &BulkResolver) -> Vec<DomainResolution> {
+    universe
+        .domains
+        .iter()
+        .map(|d| {
+            let r = bulk.resolve_domain(&d.name);
+            DomainResolution {
+                name: d.name.clone(),
+                v4: r.a.clone(),
+                v6: r.aaaa.clone(),
+                https_alpn: r.https.iter().flat_map(|p| p.alpn.iter().cloned()).collect(),
+                https_v4_hints: r.https_ipv4_hints(),
+                https_v6_hints: r.https_ipv6_hints(),
+            }
+        })
+        .collect()
+}
+
+/// Parallel TLS scan helper.
+fn scan_tls_parallel(
+    scanner: &Goscanner,
+    net: &Network,
+    targets: &[TlsTarget],
+    workers: usize,
+) -> Vec<TlsScanResult> {
+    if workers <= 1 || targets.len() < 64 {
+        return scanner.scan_all(net, targets);
+    }
+    let chunk = targets.len().div_ceil(workers);
+    let mut out: Vec<Option<TlsScanResult>> = vec![None; targets.len()];
+    let slots: Vec<&mut [Option<TlsScanResult>]> = out.chunks_mut(chunk).collect();
+    std::thread::scope(|scope| {
+        for (w, (slice, slot)) in targets.chunks(chunk).zip(slots).enumerate() {
+            scope.spawn(move || {
+                for (j, t) in slice.iter().enumerate() {
+                    slot[j] = Some(scanner.scan_target(net, t, (w * chunk + j) as u64));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qscanner::ScanOutcome;
+
+    #[test]
+    fn tiny_stateful_campaign_has_expected_shape() {
+        let campaign = Campaign::tiny();
+        let snap = campaign.run_stateful();
+        assert!(snap.zmap_v4.len() > 500, "zmap v4 hits: {}", snap.zmap_v4.len());
+        assert!(snap.zmap_v6.len() > 50, "zmap v6 hits: {}", snap.zmap_v6.len());
+        assert!(!snap.quic_no_sni.is_empty());
+        assert!(!snap.quic_sni.is_empty());
+
+        // The no-SNI outcome mix is dominated by 0x128 + timeouts, like
+        // Table 3.
+        let v4: Vec<_> = snap.quic_no_sni.iter().filter(|r| r.addr.is_v4()).collect();
+        let success = v4.iter().filter(|r| r.outcome == ScanOutcome::Success).count();
+        let crypto = v4.iter().filter(|r| r.outcome.is_crypto_0x128()).count();
+        let timeout = v4.iter().filter(|r| r.outcome == ScanOutcome::Timeout).count();
+        let mismatch =
+            v4.iter().filter(|r| r.outcome == ScanOutcome::VersionMismatch).count();
+        assert!(crypto > timeout, "0x128 ({crypto}) should dominate timeouts ({timeout})");
+        assert!(timeout > mismatch);
+        assert!(success < crypto);
+
+        // SNI scans succeed far more often than no-SNI ones.
+        let sni_success = snap
+            .quic_sni
+            .iter()
+            .filter(|(_, r)| r.outcome == ScanOutcome::Success)
+            .count();
+        let sni_rate = sni_success as f64 / snap.quic_sni.len() as f64;
+        let no_sni_rate = success as f64 / v4.len() as f64;
+        assert!(sni_rate > 0.5, "sni rate {sni_rate}");
+        assert!(no_sni_rate < 0.3, "no-sni rate {no_sni_rate}");
+
+        // Padding ablation: unpadded finds far fewer hosts.
+        assert!(snap.padding.unpadded_hits * 2 < snap.padding.padded_hits);
+        assert!(snap.padding.unpadded_top_as_share > 0.5);
+    }
+
+    #[test]
+    fn tiny_weekly_campaign() {
+        let campaign = Campaign::tiny();
+        let w9 = campaign.run_weekly(9);
+        let w18 = campaign.run_weekly(18);
+        assert_eq!(w9.week, 9);
+        // HTTPS RR adoption grows.
+        let rr = |w: &WeeklySnapshot| -> usize { w.dns_lists.iter().map(|(_, _, n)| n).sum() };
+        assert!(rr(&w18) > rr(&w9), "{} vs {}", rr(&w18), rr(&w9));
+        // Version 1 appears only at week 18.
+        let has_v1 = |w: &WeeklySnapshot| {
+            w.zmap_v4.iter().any(|h| h.versions.contains(&quic::Version::V1))
+        };
+        assert!(!has_v1(&w9));
+        assert!(has_v1(&w18));
+        // Alt-Svc observations exist and are weighted.
+        assert!(!w18.alt_svc.is_empty());
+        assert!(w18.alt_svc.iter().any(|o| o.domain_pairs > 1));
+    }
+}

@@ -1,0 +1,14 @@
+//! The measurement campaign and analysis pipeline: runs the paper's scans
+//! against the synthetic Internet and regenerates every table and figure of
+//! the evaluation. Nothing here hard-codes result numbers — all aggregates
+//! are computed from scan observations.
+
+pub mod campaign;
+pub mod cdf;
+pub mod export;
+pub mod figures;
+pub mod render;
+pub mod tables;
+
+pub use campaign::{Campaign, SniSource, StatefulSnapshot, WeeklySnapshot};
+pub use cdf::as_rank_cdf;

@@ -1,0 +1,136 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! * Feistel permutation vs. linear sweep (scan-order burstiness/cost).
+//! * Padded vs. unpadded forced-VN probes (§3.1 — the padding ablation).
+//! * Offered-version sets in the stateful scanner.
+//! * SNI vs. no-SNI handshake cost/success on a CDN host.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use internet::{Universe, UniverseConfig};
+use qscanner::{QScanner, QuicTarget};
+use quic::version::Version;
+use simnet::addr::Ipv4Addr;
+use simnet::{IpAddr, Prefix, SocketAddr};
+use zmapq::modules::quic_vn::QuicVnModule;
+use zmapq::{ZmapConfig, ZmapScanner};
+
+fn universe() -> Universe {
+    Universe::generate(UniverseConfig::tiny(18))
+}
+
+fn bench_feistel_vs_linear(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_feistel");
+    g.sample_size(10);
+    let u = universe();
+    let net = u.build_network();
+    let prefix = [Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 14)];
+    let module = QuicVnModule::new(1);
+    let scanner = ZmapScanner::new(ZmapConfig::new(SocketAddr::new(
+        Ipv4Addr::new(192, 0, 2, 9),
+        40000,
+    )));
+    g.bench_function("permuted_sweep", |b| {
+        b.iter(|| scanner.scan_v4(&net, &prefix, &module).len())
+    });
+    g.bench_function("linear_sweep", |b| {
+        b.iter(|| {
+            // Same coverage without the permutation.
+            let base = u32::from(Ipv4Addr::new(10, 0, 0, 0));
+            let mut hits = 0usize;
+            for i in 0..(1u32 << 18) {
+                let addr = IpAddr::V4(Ipv4Addr::from(base + i));
+                let dst = SocketAddr::new(addr, 443);
+                let src = SocketAddr::new(Ipv4Addr::new(192, 0, 2, 9), 40000);
+                if module.probe(&net, src, dst, u64::from(i)).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    g.finish();
+}
+
+fn bench_padding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("padding_experiment");
+    g.sample_size(10);
+    let u = universe();
+    let net = u.build_network();
+    let prefix = [Prefix::new(Ipv4Addr::new(10, 3, 0, 0), 16)]; // Fastly block
+    let scanner = ZmapScanner::new(ZmapConfig::new(SocketAddr::new(
+        Ipv4Addr::new(192, 0, 2, 9),
+        40001,
+    )));
+    g.bench_function("padded_probe", |b| {
+        let module = QuicVnModule::new(1);
+        b.iter(|| scanner.scan_v4(&net, &prefix, &module).len())
+    });
+    g.bench_function("unpadded_probe", |b| {
+        let module = QuicVnModule::unpadded(1);
+        b.iter(|| scanner.scan_v4(&net, &prefix, &module).len())
+    });
+    g.finish();
+}
+
+fn bench_offered_versions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_offered_versions");
+    g.sample_size(10);
+    let u = universe();
+    let net = u.build_network();
+    let targets: Vec<QuicTarget> = u
+        .hosts
+        .iter()
+        .filter(|h| h.provider == "cloudflare")
+        .take(32)
+        .map(|h| QuicTarget { addr: IpAddr::V4(h.v4.unwrap()), sni: Some("x.cf-customer.example.com".into()) })
+        .collect();
+    let run = |versions: Vec<Version>| {
+        let mut s = QScanner::new(IpAddr::V4(Ipv4Addr::new(192, 0, 2, 11)), 7);
+        s.versions = versions;
+        s.http_head = false;
+        let results = s.scan_many(&net, &targets, 1);
+        results.iter().filter(|r| r.outcome == qscanner::ScanOutcome::Success).count()
+    };
+    g.bench_function("drafts_29_32_34", |b| {
+        b.iter(|| run(vec![Version::DRAFT_29, Version::DRAFT_32, Version::DRAFT_34]))
+    });
+    g.bench_function("v1_only", |b| b.iter(|| run(vec![Version::V1])));
+    g.finish();
+}
+
+fn bench_sni_vs_no_sni(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_sni");
+    g.sample_size(10);
+    let u = universe();
+    let net = u.build_network();
+    let host = u.hosts.iter().find(|h| h.provider == "cloudflare").unwrap();
+    let addr = IpAddr::V4(host.v4.unwrap());
+    let scanner = QScanner::new(IpAddr::V4(Ipv4Addr::new(192, 0, 2, 12)), 9);
+    let mut i = 0u64;
+    g.bench_function("with_sni", |b| {
+        b.iter(|| {
+            i += 1;
+            scanner.scan_one(
+                &net,
+                &QuicTarget { addr, sni: Some("x.cf-customer.example.com".into()) },
+                i,
+            )
+        })
+    });
+    g.bench_function("without_sni", |b| {
+        b.iter(|| {
+            i += 1;
+            scanner.scan_one(&net, &QuicTarget { addr, sni: None }, i)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_feistel_vs_linear,
+    bench_padding,
+    bench_offered_versions,
+    bench_sni_vs_no_sni
+);
+criterion_main!(benches);

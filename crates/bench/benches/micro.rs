@@ -1,0 +1,157 @@
+//! Microbenchmarks for the protocol substrates: crypto primitives, wire
+//! codecs, and full in-memory handshakes. These quantify the scanner's
+//! per-target cost structure.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use quic::conn::ClientConnection;
+use quic::server::{Endpoint, EndpointConfig, StreamHandler, StreamSend};
+use quic::version::Version;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    let data_1k = vec![0xabu8; 1024];
+    g.throughput(Throughput::Bytes(1024));
+    g.bench_function("sha256_1k", |b| b.iter(|| qcrypto::sha256::digest(&data_1k)));
+    let gcm = qcrypto::gcm::AesGcm::new(&[7u8; 16]);
+    g.bench_function("aes128gcm_seal_1k", |b| {
+        b.iter(|| gcm.seal(&[1u8; 12], b"aad", &data_1k))
+    });
+    let chacha = qcrypto::aead::Aead::new(qcrypto::aead::AeadAlgorithm::ChaCha20Poly1305, &[9u8; 32]);
+    g.bench_function("chacha20poly1305_seal_1k", |b| {
+        b.iter(|| chacha.seal(&[1u8; 12], b"aad", &data_1k))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("kx");
+    let secret = [0x42u8; 32];
+    let public = qcrypto::x25519::public_key(&secret);
+    g.bench_function("x25519_shared_secret", |b| {
+        b.iter(|| qcrypto::x25519::x25519(&secret, &public))
+    });
+    g.bench_function("hkdf_expand_label", |b| {
+        b.iter(|| qcrypto::hkdf::expand_label(&secret, "quic key", &[], 16))
+    });
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    g.bench_function("varint_roundtrip", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(8);
+            qcodec::varint::encode(1_234_567, &mut out);
+            qcodec::varint::decode(&out).unwrap().0
+        })
+    });
+    let headers = vec![
+        h3::qpack::Header::new(":method", "HEAD"),
+        h3::qpack::Header::new(":scheme", "https"),
+        h3::qpack::Header::new(":authority", "example.com"),
+        h3::qpack::Header::new(":path", "/"),
+        h3::qpack::Header::new("server", "proxygen-bolt"),
+    ];
+    g.bench_function("qpack_encode_decode", |b| {
+        b.iter(|| {
+            let enc = h3::qpack::encode_field_section(&headers);
+            h3::qpack::decode_field_section(&enc).unwrap()
+        })
+    });
+    g.bench_function("feistel_permute", |b| {
+        let p = zmapq::FeistelPermutation::new(1 << 22, 7);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % (1 << 22);
+            p.permute(i)
+        })
+    });
+    g.finish();
+}
+
+struct Echo;
+impl StreamHandler for Echo {
+    fn on_stream_data(&mut self, id: u64, data: &[u8], fin: bool) -> Vec<StreamSend> {
+        vec![StreamSend { id, data: data.to_vec(), fin }]
+    }
+}
+
+fn quic_handshake_once(seed: u64) -> bool {
+    let ca = qtls::CertificateAuthority::new("CA", 1);
+    let cert = ca.issue(1, "bench.example", vec![], 0, 99, [2; 32]);
+    let tls = Arc::new(qtls::ServerConfig {
+        alpn: vec![b"h3-29".to_vec()],
+        ..qtls::ServerConfig::single_cert(cert)
+    });
+    let mut server = Endpoint::new(EndpointConfig::new(tls), seed, Box::new(|| Box::new(Echo)));
+    let config = quic::ClientConfig {
+        versions: vec![Version::DRAFT_29],
+        tls: qtls::ClientConfig {
+            server_name: Some("bench.example".into()),
+            alpn: vec![b"h3-29".to_vec()],
+            ..qtls::ClientConfig::default()
+        },
+        ..quic::ClientConfig::default()
+    };
+    let mut client = ClientConnection::new(config, seed);
+    for _ in 0..8 {
+        let out = client.poll_transmit();
+        if out.is_empty() {
+            break;
+        }
+        for d in out {
+            for r in server.handle_datagram(1, &d) {
+                client.on_datagram(&r);
+            }
+        }
+    }
+    client.state() == &quic::ConnectionState::Established
+}
+
+fn tls_tcp_handshake_once(seed: u64) -> bool {
+    let ca = qtls::CertificateAuthority::new("CA", 1);
+    let cert = ca.issue(1, "bench.example", vec![], 0, 99, [2; 32]);
+    let tls_cfg = Arc::new(qtls::ServerConfig::single_cert(cert));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (mut client, mut to_server) = qtls::record::TlsTcpClient::start(
+        qtls::ClientConfig {
+            server_name: Some("bench.example".into()),
+            ..qtls::ClientConfig::default()
+        },
+        &mut rng,
+    );
+    let mut server = qtls::record::TlsTcpServer::new(tls_cfg, &mut rng);
+    for _ in 0..6 {
+        let to_client = server.on_bytes(&to_server);
+        to_server = client.on_bytes(&to_client).expect("tls ok");
+        if client.is_connected() && server.is_connected() {
+            return true;
+        }
+    }
+    false
+}
+
+fn bench_handshakes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("handshake");
+    g.sample_size(20);
+    let mut seed = 0u64;
+    g.bench_function("quic_full_handshake", |b| {
+        b.iter(|| {
+            seed += 1;
+            assert!(quic_handshake_once(seed));
+        })
+    });
+    g.bench_function("tls_tcp_full_handshake", |b| {
+        b.iter(|| {
+            seed += 1;
+            assert!(tls_tcp_handshake_once(seed));
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_crypto, bench_codec, bench_handshakes);
+criterion_main!(benches);

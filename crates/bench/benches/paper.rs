@@ -1,0 +1,71 @@
+//! Per-experiment benches: one group per table/figure of the paper. Each
+//! bench regenerates its artifact from a small-scale campaign, measuring
+//! the full scan-and-analyze pipeline behind it.
+//!
+//! The campaign snapshots are produced once per process and shared; the
+//! benches then measure the analysis stage per artifact (the scan stage is
+//! measured separately by `campaign_stateful` / `campaign_weekly`).
+
+use std::sync::OnceLock;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use analysis::campaign::{Campaign, StatefulSnapshot, WeeklySnapshot};
+use analysis::{figures, tables};
+
+const BENCH_FACTOR: f64 = 0.02;
+
+fn campaign() -> Campaign {
+    Campaign { size_factor: BENCH_FACTOR, seed: 0x9000, workers: 4 }
+}
+
+fn stateful() -> &'static StatefulSnapshot {
+    static SNAP: OnceLock<StatefulSnapshot> = OnceLock::new();
+    SNAP.get_or_init(|| campaign().run_stateful())
+}
+
+fn weeklies() -> &'static Vec<WeeklySnapshot> {
+    static W: OnceLock<Vec<WeeklySnapshot>> = OnceLock::new();
+    W.get_or_init(|| [9u32, 14, 18].iter().map(|&w| campaign().run_weekly(w)).collect())
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut g = c.benchmark_group("campaign");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(20));
+    g.sampling_mode(criterion::SamplingMode::Flat);
+    g.bench_function("stateful_week18", |b| b.iter(|| campaign().run_stateful().zmap_v4.len()));
+    g.bench_function("weekly_stateless", |b| b.iter(|| campaign().run_weekly(18).zmap_v4.len()));
+    g.finish();
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let snap = stateful();
+    let mut g = c.benchmark_group("tables");
+    g.bench_function("table1_discovery", |b| b.iter(|| tables::table1(snap).len()));
+    g.bench_function("table2_providers", |b| b.iter(|| tables::table2(snap, 5).len()));
+    g.bench_function("table3_stateful", |b| b.iter(|| tables::table3(snap).totals));
+    g.bench_function("table4_per_source", |b| b.iter(|| tables::table4(snap).len()));
+    g.bench_function("table5_tls_compare", |b| b.iter(|| tables::table5(snap).compared));
+    g.bench_function("table6_server_values", |b| b.iter(|| tables::table6(snap, 5).len()));
+    g.bench_function("overlap_analysis", |b| b.iter(|| tables::overlap(snap, true).zmap_only));
+    g.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let snap = stateful();
+    let weekly = weeklies();
+    let mut g = c.benchmark_group("figures");
+    g.bench_function("fig3_https_rr", |b| b.iter(|| figures::fig3(weekly).len()));
+    g.bench_function("fig4_as_cdf", |b| b.iter(|| figures::fig4(snap).len()));
+    g.bench_function("fig5_version_sets", |b| b.iter(|| figures::fig5(weekly).len()));
+    g.bench_function("fig6_versions", |b| b.iter(|| figures::fig6(weekly).len()));
+    g.bench_function("fig7_alpn_sets", |b| b.iter(|| figures::fig7(weekly).len()));
+    g.bench_function("fig8_success_cdf", |b| b.iter(|| figures::fig8(snap).len()));
+    g.bench_function("fig9_tparams", |b| b.iter(|| figures::fig9(snap).len()));
+    g.bench_function("configs_per_as", |b| b.iter(|| figures::configs_per_as(snap).len()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_campaign, bench_tables, bench_figures);
+criterion_main!(benches);

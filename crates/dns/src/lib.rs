@@ -1,0 +1,23 @@
+//! DNS for the simulated Internet: wire format (RFC 1035), the SVCB/HTTPS
+//! resource records (draft-ietf-dnsop-svcb-https-05, the revision the paper
+//! scanned for), an authoritative/recursive resolver simulation, and a
+//! MassDNS-style bulk resolver.
+//!
+//! The paper's DNS scans resolve domain lists for `HTTPS` RRs — whose
+//! `alpn`, `ipv4hint` and `ipv6hint` parameters reveal QUIC endpoints with a
+//! single query — plus `A`/`AAAA` for the ZMap/SNI joins (§3.2).
+
+pub mod massdns;
+pub mod resolver;
+pub mod rr;
+pub mod server;
+pub mod svcb;
+pub mod wire;
+pub mod zone;
+
+pub use massdns::{BulkResolver, ResolvedDomain};
+pub use resolver::Resolver;
+pub use rr::{QType, RData, Record};
+pub use svcb::SvcParams;
+pub use wire::{Message, Question, Rcode};
+pub use zone::ZoneDb;

@@ -1,0 +1,75 @@
+//! A DNS server as a simulated-network UDP service (port 53), so the bulk
+//! resolver can exercise the real wire path.
+
+use simnet::{ServiceCtx, SocketAddr, UdpService};
+
+use crate::resolver::Resolver;
+use crate::wire::{Message, Rcode};
+
+/// UDP DNS service backed by a [`Resolver`].
+pub struct DnsServer {
+    resolver: Resolver,
+}
+
+impl DnsServer {
+    /// Wraps a resolver.
+    pub fn new(resolver: Resolver) -> Self {
+        DnsServer { resolver }
+    }
+}
+
+impl UdpService for DnsServer {
+    fn on_datagram(&mut self, ctx: &mut ServiceCtx<'_>, _from: SocketAddr, data: &[u8]) {
+        let Ok(query) = Message::decode(data) else {
+            return;
+        };
+        let Some(q) = query.questions.first() else {
+            let resp = Message::response_to(&query, Rcode::FormErr, vec![]);
+            ctx.reply(resp.encode());
+            return;
+        };
+        let (rcode, answers) = self.resolver.resolve(&q.name, q.qtype);
+        ctx.reply(Message::response_to(&query, rcode, answers).encode());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rr::QType;
+    use crate::zone::ZoneDb;
+    use simnet::addr::Ipv4Addr;
+    use simnet::Network;
+    use std::sync::Arc;
+
+    #[test]
+    fn query_over_simnet() {
+        let mut db = ZoneDb::new();
+        db.add_a("host.example", Ipv4Addr::new(10, 9, 9, 9));
+        let resolver = Resolver::new(Arc::new(db));
+        let mut net = Network::new(1);
+        let dns_addr = SocketAddr::new(Ipv4Addr::new(10, 0, 0, 53), 53);
+        net.bind_udp(dns_addr, Box::new(DnsServer::new(resolver)));
+
+        let src = SocketAddr::new(Ipv4Addr::new(10, 0, 0, 1), 4000);
+        let query = Message::query(0xabcd, "host.example", QType::A);
+        let replies = net.udp_send(src, dns_addr, &query.encode());
+        assert_eq!(replies.len(), 1);
+        let resp = Message::decode(&replies[0]).unwrap();
+        assert_eq!(resp.id, 0xabcd);
+        assert_eq!(resp.rcode, Rcode::NoError);
+        assert_eq!(resp.answers.len(), 1);
+    }
+
+    #[test]
+    fn garbage_is_ignored() {
+        let mut db = ZoneDb::new();
+        db.add_a("host.example", Ipv4Addr::new(10, 9, 9, 9));
+        let resolver = Resolver::new(Arc::new(db));
+        let mut net = Network::new(1);
+        let dns_addr = SocketAddr::new(Ipv4Addr::new(10, 0, 0, 53), 53);
+        net.bind_udp(dns_addr, Box::new(DnsServer::new(resolver)));
+        let src = SocketAddr::new(Ipv4Addr::new(10, 0, 0, 1), 4000);
+        assert!(net.udp_send(src, dns_addr, b"\x00").is_empty());
+    }
+}

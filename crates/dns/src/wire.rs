@@ -1,0 +1,342 @@
+//! DNS message wire format (RFC 1035 §4). Names are encoded uncompressed;
+//! decoding follows compression pointers for interoperability.
+
+use qcodec::{CodecError, Reader, Result, Writer};
+
+use crate::rr::{QType, RData, Record};
+
+/// Response codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rcode {
+    /// No error.
+    NoError,
+    /// Format error.
+    FormErr,
+    /// Server failure.
+    ServFail,
+    /// Name does not exist.
+    NxDomain,
+}
+
+impl Rcode {
+    fn code(self) -> u16 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+        }
+    }
+
+    fn from_code(code: u16) -> Rcode {
+        match code {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            3 => Rcode::NxDomain,
+            _ => Rcode::ServFail,
+        }
+    }
+}
+
+/// A question section entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Question {
+    /// Queried name.
+    pub name: String,
+    /// Queried type.
+    pub qtype: QType,
+}
+
+/// A DNS message (query or response).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Transaction id.
+    pub id: u16,
+    /// True for responses.
+    pub response: bool,
+    /// Response code.
+    pub rcode: Rcode,
+    /// Questions.
+    pub questions: Vec<Question>,
+    /// Answer records.
+    pub answers: Vec<Record>,
+}
+
+impl Message {
+    /// Builds a query.
+    pub fn query(id: u16, name: &str, qtype: QType) -> Message {
+        Message {
+            id,
+            response: false,
+            rcode: Rcode::NoError,
+            questions: vec![Question { name: name.to_string(), qtype }],
+            answers: Vec::new(),
+        }
+    }
+
+    /// Builds the response skeleton for a query.
+    pub fn response_to(query: &Message, rcode: Rcode, answers: Vec<Record>) -> Message {
+        Message {
+            id: query.id,
+            response: true,
+            rcode,
+            questions: query.questions.clone(),
+            answers,
+        }
+    }
+
+    /// Encodes to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u16(self.id);
+        let mut flags = 0u16;
+        if self.response {
+            flags |= 0x8000; // QR
+            flags |= 0x0080; // RA
+        }
+        flags |= 0x0100; // RD
+        flags |= self.rcode.code();
+        w.put_u16(flags);
+        w.put_u16(self.questions.len() as u16);
+        w.put_u16(self.answers.len() as u16);
+        w.put_u16(0); // authority
+        w.put_u16(0); // additional
+        for q in &self.questions {
+            encode_name(&mut w, &q.name);
+            w.put_u16(q.qtype.code());
+            w.put_u16(1); // IN
+        }
+        for rr in &self.answers {
+            encode_name(&mut w, &rr.name);
+            let https = matches!(rr.rdata, RData::Svc { .. })
+                && self.questions.first().map(|q| q.qtype) != Some(QType::Svcb);
+            w.put_u16(rr.rdata.qtype(https).code());
+            w.put_u16(1);
+            w.put_u32(rr.ttl);
+            let mut body = Writer::new();
+            rr.rdata.encode(&mut body);
+            w.put_vec16(body.as_slice());
+        }
+        w.into_vec()
+    }
+
+    /// Decodes from wire bytes. Unknown-type answers are skipped.
+    pub fn decode(bytes: &[u8]) -> Result<Message> {
+        let mut r = Reader::new(bytes);
+        let id = r.read_u16()?;
+        let flags = r.read_u16()?;
+        let response = flags & 0x8000 != 0;
+        let rcode = Rcode::from_code(flags & 0x000f);
+        let qdcount = r.read_u16()? as usize;
+        let ancount = r.read_u16()? as usize;
+        let _ns = r.read_u16()?;
+        let _ar = r.read_u16()?;
+        let mut questions = Vec::with_capacity(qdcount);
+        for _ in 0..qdcount {
+            let name = decode_name(&mut r, bytes)?;
+            let qtype_code = r.read_u16()?;
+            let _class = r.read_u16()?;
+            let qtype =
+                QType::from_code(qtype_code).ok_or(CodecError::Invalid("unknown qtype"))?;
+            questions.push(Question { name, qtype });
+        }
+        let mut answers = Vec::with_capacity(ancount);
+        for _ in 0..ancount {
+            let name = decode_name(&mut r, bytes)?;
+            let type_code = r.read_u16()?;
+            let _class = r.read_u16()?;
+            let ttl = r.read_u32()?;
+            let rdata_bytes = r.read_vec16()?;
+            if let Some(qtype) = QType::from_code(type_code) {
+                let rdata = RData::decode(qtype, rdata_bytes)?;
+                answers.push(Record { name, ttl, rdata });
+            }
+        }
+        Ok(Message { id, response, rcode, questions, answers })
+    }
+}
+
+/// Encodes a domain name as uncompressed labels. Empty string = root.
+pub fn encode_name(w: &mut Writer, name: &str) {
+    for label in name.split('.').filter(|l| !l.is_empty()) {
+        debug_assert!(label.len() < 64, "label too long");
+        w.put_vec8(label.as_bytes());
+    }
+    w.put_u8(0);
+}
+
+/// Decodes a domain name, following compression pointers into `full_message`.
+pub fn decode_name(r: &mut Reader<'_>, full_message: &[u8]) -> Result<String> {
+    let mut labels: Vec<String> = Vec::new();
+    let mut jumps = 0;
+    // After the first pointer jump, reads come from `full_message[pos..]`.
+    let mut jumped_pos: Option<usize> = None;
+    let take = |pos: &mut Option<usize>, r: &mut Reader<'_>, n: usize| -> Result<Vec<u8>> {
+        match pos {
+            None => Ok(r.read_bytes(n)?.to_vec()),
+            Some(p) => {
+                let end = p.checked_add(n).ok_or(CodecError::Invalid("pointer overflow"))?;
+                let bytes = full_message
+                    .get(*p..end)
+                    .ok_or(CodecError::Invalid("pointer past end"))?;
+                *p = end;
+                Ok(bytes.to_vec())
+            }
+        }
+    };
+    loop {
+        let len = take(&mut jumped_pos, r, 1)?[0];
+        if len == 0 {
+            break;
+        }
+        if len & 0xc0 == 0xc0 {
+            let lo = take(&mut jumped_pos, r, 1)?[0];
+            let offset = ((usize::from(len) & 0x3f) << 8) | usize::from(lo);
+            if offset >= full_message.len() || jumps > 8 {
+                return Err(CodecError::Invalid("bad compression pointer"));
+            }
+            jumps += 1;
+            jumped_pos = Some(offset);
+            continue;
+        }
+        if len >= 64 {
+            return Err(CodecError::Invalid("bad label length"));
+        }
+        let label = take(&mut jumped_pos, r, len as usize)?;
+        labels.push(
+            String::from_utf8(label).map_err(|_| CodecError::Invalid("non-UTF-8 label"))?,
+        );
+    }
+    Ok(labels.join("."))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::svcb::SvcParams;
+    use simnet::addr::Ipv4Addr;
+
+    #[test]
+    fn query_roundtrip() {
+        let q = Message::query(0x1234, "www.example.com", QType::Https);
+        let decoded = Message::decode(&q.encode()).unwrap();
+        assert_eq!(decoded, q);
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let q = Message::query(7, "example.com", QType::A);
+        let resp = Message::response_to(
+            &q,
+            Rcode::NoError,
+            vec![
+                Record::new("example.com", RData::Cname("edge.cdn.example".into())),
+                Record::new("edge.cdn.example", RData::A(Ipv4Addr::new(198, 51, 100, 4))),
+            ],
+        );
+        let decoded = Message::decode(&resp.encode()).unwrap();
+        assert_eq!(decoded, resp);
+        assert!(decoded.response);
+    }
+
+    #[test]
+    fn https_rr_message() {
+        let q = Message::query(9, "cf.example", QType::Https);
+        let resp = Message::response_to(
+            &q,
+            Rcode::NoError,
+            vec![Record::new(
+                "cf.example",
+                RData::Svc {
+                    priority: 1,
+                    target: String::new(),
+                    params: SvcParams {
+                        alpn: vec!["h3-29".into()],
+                        ipv4hint: vec![Ipv4Addr::new(104, 16, 0, 1)],
+                        ..SvcParams::default()
+                    },
+                },
+            )],
+        );
+        let decoded = Message::decode(&resp.encode()).unwrap();
+        match &decoded.answers[0].rdata {
+            RData::Svc { params, .. } => assert!(params.indicates_quic()),
+            other => panic!("wrong rdata {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nxdomain() {
+        let q = Message::query(1, "nope.example", QType::A);
+        let resp = Message::response_to(&q, Rcode::NxDomain, vec![]);
+        let decoded = Message::decode(&resp.encode()).unwrap();
+        assert_eq!(decoded.rcode, Rcode::NxDomain);
+        assert!(decoded.answers.is_empty());
+    }
+
+    #[test]
+    fn name_with_pointer_decodes() {
+        // Hand-build: header + question with name at offset 12, answer name
+        // as pointer to offset 12.
+        let q = Message::query(2, "ptr.example", QType::A);
+        let mut bytes = q.encode();
+        // Append one answer manually using a compression pointer.
+        bytes[6] = 0; // ancount high
+        bytes[7] = 1; // ancount low
+        bytes.extend_from_slice(&[0xc0, 12]); // pointer to question name
+        bytes.extend_from_slice(&1u16.to_be_bytes()); // type A
+        bytes.extend_from_slice(&1u16.to_be_bytes()); // class IN
+        bytes.extend_from_slice(&60u32.to_be_bytes()); // ttl
+        bytes.extend_from_slice(&4u16.to_be_bytes()); // rdlength
+        bytes.extend_from_slice(&[10, 0, 0, 1]);
+        let decoded = Message::decode(&bytes).unwrap();
+        assert_eq!(decoded.answers[0].name, "ptr.example");
+        assert_eq!(decoded.answers[0].rdata, RData::A(Ipv4Addr::new(10, 0, 0, 1)));
+    }
+}
+
+#[cfg(test)]
+mod robustness_tests {
+    use super::*;
+    use crate::rr::QType;
+
+    #[test]
+    fn truncated_messages_error_not_panic() {
+        let full = Message::query(5, "host.example.com", QType::Https).encode();
+        for cut in 0..full.len() {
+            let _ = Message::decode(&full[..cut]); // must not panic
+        }
+    }
+
+    #[test]
+    fn pointer_loop_is_bounded() {
+        // Craft a header + a question whose name is a self-referencing pointer.
+        let mut bytes = vec![0u8; 12];
+        bytes[0] = 0;
+        bytes[1] = 7; // id
+        bytes[5] = 1; // qdcount = 1
+        bytes.extend_from_slice(&[0xc0, 12]); // pointer to itself
+        bytes.extend_from_slice(&1u16.to_be_bytes());
+        bytes.extend_from_slice(&1u16.to_be_bytes());
+        assert!(Message::decode(&bytes).is_err(), "self-pointer must be rejected");
+    }
+
+    #[test]
+    fn long_labels_rejected() {
+        let mut bytes = vec![0u8; 12];
+        bytes[5] = 1;
+        bytes.push(64); // label length 64 is illegal
+        bytes.extend_from_slice(&[b'a'; 64]);
+        bytes.push(0);
+        bytes.extend_from_slice(&1u16.to_be_bytes());
+        bytes.extend_from_slice(&1u16.to_be_bytes());
+        assert!(Message::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn case_preserved_in_names() {
+        let q = Message::query(9, "MixedCase.Example", QType::A);
+        let decoded = Message::decode(&q.encode()).unwrap();
+        assert_eq!(decoded.questions[0].name, "MixedCase.Example");
+    }
+}

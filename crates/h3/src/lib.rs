@@ -1,0 +1,26 @@
+//! Minimal HTTP/3 (draft-ietf-quic-http-34 / RFC 9114 subset), HTTP/1.1
+//! messages, and the `Alt-Svc` header grammar (RFC 7838) — everything the
+//! QScanner's HTTP HEAD requests and the Goscanner's Alt-Svc collection need.
+//!
+//! QPACK uses static-table and literal encodings only (RFC 9204 with no
+//! dynamic table), which every conforming decoder accepts.
+
+pub mod altsvc;
+pub mod frames;
+pub mod http1;
+pub mod qpack;
+pub mod request;
+
+pub use altsvc::{parse_alt_svc, AltService};
+pub use qpack::Header;
+pub use request::{Request, Response};
+
+/// HTTP/3 stream type prefixes for unidirectional streams (RFC 9114 §6.2).
+pub mod stream_type {
+    /// Control stream.
+    pub const CONTROL: u64 = 0x00;
+    /// QPACK encoder stream.
+    pub const QPACK_ENCODER: u64 = 0x02;
+    /// QPACK decoder stream.
+    pub const QPACK_DECODER: u64 = 0x03;
+}

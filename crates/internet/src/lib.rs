@@ -1,0 +1,21 @@
+//! The synthetic Internet: a generative model of the QUIC deployment
+//! landscape of early 2021, calibrated to the paper's published aggregates.
+//!
+//! [`universe::Universe`] builds, from a seed and a calendar week, a
+//! population of providers, autonomous systems, addresses, domains and
+//! per-host behaviours, and can materialize it as a [`simnet::Network`] whose
+//! UDP/TCP services run the real `quic`/`qtls`/`h3`/`dns` stacks. The
+//! scanners then *measure* this world; none of the paper's result numbers
+//! are hard-coded downstream of here.
+//!
+//! Scale: addresses 1:100, ASes 1:10, domains 1:500 relative to the paper
+//! (see DESIGN.md). All percentages/shares are scale-free.
+
+pub mod asdb;
+pub mod catalog;
+pub mod servers;
+pub mod universe;
+
+pub use asdb::AsDb;
+pub use catalog::{Implementation, IMPLEMENTATIONS};
+pub use universe::{DomainSpec, HostBehavior, HostSpec, InputList, Universe, UniverseConfig};

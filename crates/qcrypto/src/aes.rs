@@ -1,0 +1,201 @@
+//! AES block cipher (FIPS 197), encrypt direction only — CTR-based modes
+//! (GCM) never need the inverse cipher.
+
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+const RCON: [u8; 11] = [0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (((b >> 7) & 1) * 0x1b)
+}
+
+/// Expanded AES key supporting the 128- and 256-bit variants.
+#[derive(Clone)]
+pub struct Aes {
+    round_keys: Vec<[u8; 16]>,
+}
+
+impl Aes {
+    /// Expands a 16-byte AES-128 key.
+    pub fn new_128(key: &[u8; 16]) -> Self {
+        Self::expand(key, 4, 10)
+    }
+
+    /// Expands a 32-byte AES-256 key.
+    pub fn new_256(key: &[u8; 32]) -> Self {
+        Self::expand(key, 8, 14)
+    }
+
+    /// Expands a key of 16 or 32 bytes.
+    ///
+    /// # Panics
+    /// Panics on any other key length.
+    pub fn new(key: &[u8]) -> Self {
+        match key.len() {
+            16 => Self::new_128(key.try_into().unwrap()),
+            32 => Self::new_256(key.try_into().unwrap()),
+            n => panic!("unsupported AES key length {n}"),
+        }
+    }
+
+    fn expand(key: &[u8], nk: usize, nr: usize) -> Self {
+        let mut w: Vec<[u8; 4]> = key.chunks(4).map(|c| [c[0], c[1], c[2], c[3]]).collect();
+        for i in nk..4 * (nr + 1) {
+            let mut t = w[i - 1];
+            if i % nk == 0 {
+                t.rotate_left(1);
+                for b in &mut t {
+                    *b = SBOX[*b as usize];
+                }
+                t[0] ^= RCON[i / nk];
+            } else if nk > 6 && i % nk == 4 {
+                for b in &mut t {
+                    *b = SBOX[*b as usize];
+                }
+            }
+            let prev = w[i - nk];
+            w.push([t[0] ^ prev[0], t[1] ^ prev[1], t[2] ^ prev[2], t[3] ^ prev[3]]);
+        }
+        let round_keys = w
+            .chunks(4)
+            .map(|c| {
+                let mut rk = [0u8; 16];
+                for (i, word) in c.iter().enumerate() {
+                    rk[4 * i..4 * i + 4].copy_from_slice(word);
+                }
+                rk
+            })
+            .collect();
+        Aes { round_keys }
+    }
+
+    /// Encrypts one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        let nr = self.round_keys.len() - 1;
+        add_round_key(block, &self.round_keys[0]);
+        for round in 1..nr {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[round]);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[nr]);
+    }
+
+    /// Encrypts `block` and returns the ciphertext, leaving the input intact.
+    pub fn encrypt(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut b = *block;
+        self.encrypt_block(&mut b);
+        b
+    }
+}
+
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(rk) {
+        *s ^= k;
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+fn shift_rows(state: &mut [u8; 16]) {
+    // State is column-major: byte (row r, col c) lives at index 4c + r.
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * c + r] = s[4 * ((c + r) % 4) + r];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        let t = col[0] ^ col[1] ^ col[2] ^ col[3];
+        for r in 0..4 {
+            state[4 * c + r] = col[r] ^ t ^ xtime(col[r] ^ col[(r + 1) % 4]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcodec::hex;
+
+    /// FIPS 197 Appendix C.1 (AES-128) and C.3 (AES-256).
+    #[test]
+    fn fips197_vectors() {
+        let pt: [u8; 16] = hex::decode("00112233445566778899aabbccddeeff").unwrap().try_into().unwrap();
+        let k128 = Aes::new(&hex::decode("000102030405060708090a0b0c0d0e0f").unwrap());
+        assert_eq!(hex::encode(&k128.encrypt(&pt)), "69c4e0d86a7b0430d8cdb78070b4c55a");
+        let k256 = Aes::new(
+            &hex::decode("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f").unwrap(),
+        );
+        assert_eq!(hex::encode(&k256.encrypt(&pt)), "8ea2b7ca516745bfeafc49904b496089");
+    }
+
+    /// NIST SP 800-38A F.1.1 ECB-AES128 first block.
+    #[test]
+    fn sp800_38a_ecb() {
+        let key = Aes::new(&hex::decode("2b7e151628aed2a6abf7158809cf4f3c").unwrap());
+        let pt: [u8; 16] = hex::decode("6bc1bee22e409f96e93d7e117393172a").unwrap().try_into().unwrap();
+        assert_eq!(hex::encode(&key.encrypt(&pt)), "3ad77bb40d7a3660a89ecaf32466ef97");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported AES key length")]
+    fn bad_key_length() {
+        let _ = Aes::new(&[0u8; 24]); // AES-192 deliberately unsupported
+    }
+}
+
+#[cfg(test)]
+mod extra_tests {
+    use super::*;
+
+    /// Encryption is deterministic and key-sensitive.
+    #[test]
+    fn different_keys_different_ciphertext() {
+        let a = Aes::new_128(&[1u8; 16]);
+        let b = Aes::new_128(&[2u8; 16]);
+        let block = [0x5au8; 16];
+        assert_ne!(a.encrypt(&block), b.encrypt(&block));
+        assert_eq!(a.encrypt(&block), a.encrypt(&block));
+    }
+
+    /// Every single-bit key flip changes the ciphertext (avalanche smoke).
+    #[test]
+    fn key_avalanche() {
+        let block = [7u8; 16];
+        let base = Aes::new_128(&[0u8; 16]).encrypt(&block);
+        for byte in 0..16 {
+            let mut key = [0u8; 16];
+            key[byte] = 1;
+            assert_ne!(Aes::new_128(&key).encrypt(&block), base, "byte {byte}");
+        }
+    }
+}

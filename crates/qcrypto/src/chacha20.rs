@@ -1,0 +1,100 @@
+//! ChaCha20 stream cipher (RFC 8439 §2).
+
+/// One ChaCha20 quarter round on the state.
+#[inline]
+fn quarter(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Produces the 64-byte keystream block for (`key`, `counter`, `nonce`).
+pub fn block(key: &[u8; 32], counter: u32, nonce: &[u8; 12]) -> [u8; 64] {
+    let mut state = [0u32; 16];
+    state[0] = 0x61707865;
+    state[1] = 0x3320646e;
+    state[2] = 0x79622d32;
+    state[3] = 0x6b206574;
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes(key[4 * i..4 * i + 4].try_into().unwrap());
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes(nonce[4 * i..4 * i + 4].try_into().unwrap());
+    }
+    let mut working = state;
+    for _ in 0..10 {
+        quarter(&mut working, 0, 4, 8, 12);
+        quarter(&mut working, 1, 5, 9, 13);
+        quarter(&mut working, 2, 6, 10, 14);
+        quarter(&mut working, 3, 7, 11, 15);
+        quarter(&mut working, 0, 5, 10, 15);
+        quarter(&mut working, 1, 6, 11, 12);
+        quarter(&mut working, 2, 7, 8, 13);
+        quarter(&mut working, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let v = working[i].wrapping_add(state[i]);
+        out[4 * i..4 * i + 4].copy_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// XORs the ChaCha20 keystream into `data`, starting at block `counter`.
+pub fn xor(key: &[u8; 32], counter: u32, nonce: &[u8; 12], data: &mut [u8]) {
+    for (i, chunk) in data.chunks_mut(64).enumerate() {
+        let ks = block(key, counter.wrapping_add(i as u32), nonce);
+        for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+            *d ^= k;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcodec::hex;
+
+    /// RFC 8439 §2.3.2 block function test vector.
+    #[test]
+    fn rfc8439_block() {
+        let key: [u8; 32] =
+            hex::decode("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+                .unwrap()
+                .try_into()
+                .unwrap();
+        let nonce: [u8; 12] = hex::decode("000000090000004a00000000").unwrap().try_into().unwrap();
+        let ks = block(&key, 1, &nonce);
+        assert_eq!(
+            hex::encode(&ks),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+        );
+    }
+
+    /// RFC 8439 §2.4.2 encryption test vector.
+    #[test]
+    fn rfc8439_encrypt() {
+        let key: [u8; 32] =
+            hex::decode("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+                .unwrap()
+                .try_into()
+                .unwrap();
+        let nonce: [u8; 12] = hex::decode("000000000000004a00000000").unwrap().try_into().unwrap();
+        let mut data = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.".to_vec();
+        xor(&key, 1, &nonce, &mut data);
+        assert_eq!(
+            hex::encode(&data),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+             f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8\
+             07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736\
+             5af90bbf74a35be6b40b8eedf2785e42874d"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Cryptographic primitives implemented from scratch for the QUIC/TLS stack.
+//!
+//! Nothing here is intended to be constant-time or side-channel hardened —
+//! the scanner and the simulated servers are the only parties — but every
+//! primitive is validated against the published NIST/RFC test vectors, and
+//! the QUIC Initial packet protection built on top of them reproduces
+//! RFC 9001 Appendix A bit-exactly (see the `quic` crate's tests).
+//!
+//! Provided primitives:
+//! * [`sha256`] — FIPS 180-4 SHA-256
+//! * [`hmac`] — RFC 2104 HMAC-SHA256
+//! * [`hkdf`] — RFC 5869 HKDF-SHA256 plus TLS 1.3 `HKDF-Expand-Label`
+//! * [`aes`] — FIPS 197 AES-128/AES-256 block cipher (encrypt direction)
+//! * [`gcm`] — NIST SP 800-38D AES-GCM AEAD
+//! * [`chacha20`] / [`poly1305`] / ChaCha20-Poly1305 AEAD — RFC 8439
+//! * [`x25519`] — RFC 7748 Curve25519 Diffie-Hellman
+//! * [`aead`] — a cipher-agnostic AEAD facade used by TLS and QUIC
+
+pub mod aead;
+pub mod aes;
+pub mod chacha20;
+pub mod gcm;
+pub mod hkdf;
+pub mod hmac;
+pub mod poly1305;
+pub mod sha256;
+pub mod x25519;
+
+/// Error returned when AEAD authentication fails on decryption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuthError;
+
+impl core::fmt::Display for AuthError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "AEAD authentication failed")
+    }
+}
+
+impl std::error::Error for AuthError {}

@@ -1,0 +1,424 @@
+//! X25519 Diffie-Hellman (RFC 7748).
+//!
+//! Field arithmetic over 2^255 - 19 uses five 51-bit limbs in `u64`s with
+//! `u128` products (the donna-c64 layout) — 25 partial products per
+//! multiplication, which keeps the scanners' handshake throughput high.
+
+/// A field element in 5×51-bit limbs, loosely reduced (< 2^52 per limb).
+#[derive(Clone, Copy)]
+struct Fe([u64; 5]);
+
+const MASK51: u64 = (1 << 51) - 1;
+const ZERO: Fe = Fe([0; 5]);
+const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+impl Fe {
+    fn from_bytes(s: &[u8; 32]) -> Fe {
+        let lo = |r: core::ops::Range<usize>| -> u64 {
+            let mut b = [0u8; 8];
+            b[..r.len()].copy_from_slice(&s[r]);
+            u64::from_le_bytes(b)
+        };
+        Fe([
+            lo(0..8) & MASK51,
+            (lo(6..14) >> 3) & MASK51,
+            (lo(12..20) >> 6) & MASK51,
+            (lo(19..27) >> 1) & MASK51,
+            (lo(24..32) >> 12) & MASK51,
+        ])
+    }
+
+    fn to_bytes(self) -> [u8; 32] {
+        // Fully carry, then canonicalize mod 2^255 - 19.
+        let mut h = self.0;
+        let mut carry;
+        for _ in 0..2 {
+            for i in 0..5 {
+                carry = h[i] >> 51;
+                h[i] &= MASK51;
+                if i == 4 {
+                    h[0] += carry * 19;
+                } else {
+                    h[i + 1] += carry;
+                }
+            }
+        }
+        // h < 2^255 + small; subtract p if h >= p.
+        let mut q = (h[0].wrapping_add(19)) >> 51;
+        q = (h[1] + q) >> 51;
+        q = (h[2] + q) >> 51;
+        q = (h[3] + q) >> 51;
+        q = (h[4] + q) >> 51;
+        h[0] += 19 * q;
+        carry = h[0] >> 51;
+        h[0] &= MASK51;
+        h[1] += carry;
+        carry = h[1] >> 51;
+        h[1] &= MASK51;
+        h[2] += carry;
+        carry = h[2] >> 51;
+        h[2] &= MASK51;
+        h[3] += carry;
+        carry = h[3] >> 51;
+        h[3] &= MASK51;
+        h[4] += carry;
+        h[4] &= MASK51;
+
+        let mut out = [0u8; 32];
+        let write = |out: &mut [u8; 32], bit_offset: usize, v: u64| {
+            let byte = bit_offset / 8;
+            let shift = bit_offset % 8;
+            let val = (v as u128) << shift;
+            for k in 0..8 {
+                if byte + k < 32 {
+                    out[byte + k] |= (val >> (8 * k)) as u8;
+                }
+            }
+        };
+        write(&mut out, 0, h[0]);
+        write(&mut out, 51, h[1]);
+        write(&mut out, 102, h[2]);
+        write(&mut out, 153, h[3]);
+        write(&mut out, 204, h[4]);
+        out
+    }
+
+    #[inline]
+    fn add(&self, other: &Fe) -> Fe {
+        let a = &self.0;
+        let b = &other.0;
+        Fe([a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3], a[4] + b[4]])
+    }
+
+    /// a - b, biased by 2p to stay non-negative (inputs loosely reduced).
+    #[inline]
+    fn sub(&self, other: &Fe) -> Fe {
+        const TWO_P0: u64 = 0xfffffffffffda; // 2 * (2^51 - 19)
+        const TWO_P1234: u64 = 0xffffffffffffe; // 2 * (2^51 - 1)
+        let a = &self.0;
+        let b = &other.0;
+        Fe([
+            a[0] + TWO_P0 - b[0],
+            a[1] + TWO_P1234 - b[1],
+            a[2] + TWO_P1234 - b[2],
+            a[3] + TWO_P1234 - b[3],
+            a[4] + TWO_P1234 - b[4],
+        ])
+        .weak_reduce()
+    }
+
+    /// One carry pass bringing limbs back under ~2^52.
+    #[inline]
+    fn weak_reduce(mut self) -> Fe {
+        let h = &mut self.0;
+        let c0 = h[0] >> 51;
+        h[0] &= MASK51;
+        h[1] += c0;
+        let c1 = h[1] >> 51;
+        h[1] &= MASK51;
+        h[2] += c1;
+        let c2 = h[2] >> 51;
+        h[2] &= MASK51;
+        h[3] += c2;
+        let c3 = h[3] >> 51;
+        h[3] &= MASK51;
+        h[4] += c3;
+        let c4 = h[4] >> 51;
+        h[4] &= MASK51;
+        h[0] += c4 * 19;
+        self
+    }
+
+    #[inline]
+    fn mul(&self, other: &Fe) -> Fe {
+        let [a0, a1, a2, a3, a4] = self.0;
+        let [b0, b1, b2, b3, b4] = other.0;
+        let m = |x: u64, y: u64| -> u128 { (x as u128) * (y as u128) };
+        // Limbs above index 4 fold back with a ×19 factor (2^255 ≡ 19).
+        let b1_19 = b1 * 19;
+        let b2_19 = b2 * 19;
+        let b3_19 = b3 * 19;
+        let b4_19 = b4 * 19;
+
+        let t0 = m(a0, b0) + m(a1, b4_19) + m(a2, b3_19) + m(a3, b2_19) + m(a4, b1_19);
+        let mut t1 = m(a0, b1) + m(a1, b0) + m(a2, b4_19) + m(a3, b3_19) + m(a4, b2_19);
+        let mut t2 = m(a0, b2) + m(a1, b1) + m(a2, b0) + m(a3, b4_19) + m(a4, b3_19);
+        let mut t3 = m(a0, b3) + m(a1, b2) + m(a2, b1) + m(a3, b0) + m(a4, b4_19);
+        let mut t4 = m(a0, b4) + m(a1, b3) + m(a2, b2) + m(a3, b1) + m(a4, b0);
+
+        let mut out = [0u64; 5];
+        let mut carry: u64;
+        carry = (t0 >> 51) as u64;
+        out[0] = (t0 as u64) & MASK51;
+        t1 += carry as u128;
+        carry = (t1 >> 51) as u64;
+        out[1] = (t1 as u64) & MASK51;
+        t2 += carry as u128;
+        carry = (t2 >> 51) as u64;
+        out[2] = (t2 as u64) & MASK51;
+        t3 += carry as u128;
+        carry = (t3 >> 51) as u64;
+        out[3] = (t3 as u64) & MASK51;
+        t4 += carry as u128;
+        carry = (t4 >> 51) as u64;
+        out[4] = (t4 as u64) & MASK51;
+        out[0] += carry * 19;
+        let c = out[0] >> 51;
+        out[0] &= MASK51;
+        out[1] += c;
+        Fe(out)
+    }
+
+    #[inline]
+    fn square(&self) -> Fe {
+        self.mul(self)
+    }
+
+    #[inline]
+    fn mul_small(&self, n: u64) -> Fe {
+        let mut t = [0u128; 5];
+        for i in 0..5 {
+            t[i] = (self.0[i] as u128) * (n as u128);
+        }
+        let mut out = [0u64; 5];
+        let mut carry = 0u64;
+        for i in 0..5 {
+            let v = t[i] + carry as u128;
+            out[i] = (v as u64) & MASK51;
+            carry = (v >> 51) as u64;
+        }
+        out[0] += carry * 19;
+        Fe(out).weak_reduce()
+    }
+
+    /// Fermat inversion: a^(p-2), p = 2^255 - 19.
+    fn invert(&self) -> Fe {
+        // Addition chain from curve25519-donna.
+        let z2 = self.square();
+        let z8 = z2.square().square();
+        let z9 = self.mul(&z8);
+        let z11 = z2.mul(&z9);
+        let z22 = z11.square();
+        let z_5_0 = z9.mul(&z22); // 2^5 - 2^0
+        let mut t = z_5_0;
+        for _ in 0..5 {
+            t = t.square();
+        }
+        let z_10_0 = t.mul(&z_5_0);
+        t = z_10_0;
+        for _ in 0..10 {
+            t = t.square();
+        }
+        let z_20_0 = t.mul(&z_10_0);
+        t = z_20_0;
+        for _ in 0..20 {
+            t = t.square();
+        }
+        let z_40_0 = t.mul(&z_20_0);
+        t = z_40_0;
+        for _ in 0..10 {
+            t = t.square();
+        }
+        let z_50_0 = t.mul(&z_10_0);
+        t = z_50_0;
+        for _ in 0..50 {
+            t = t.square();
+        }
+        let z_100_0 = t.mul(&z_50_0);
+        t = z_100_0;
+        for _ in 0..100 {
+            t = t.square();
+        }
+        let z_200_0 = t.mul(&z_100_0);
+        t = z_200_0;
+        for _ in 0..50 {
+            t = t.square();
+        }
+        let z_250_0 = t.mul(&z_50_0);
+        t = z_250_0;
+        for _ in 0..5 {
+            t = t.square();
+        }
+        t.mul(&z11) // 2^255 - 21
+    }
+}
+
+fn cswap(swap: u64, a: &mut Fe, b: &mut Fe) {
+    let mask = 0u64.wrapping_sub(swap);
+    for i in 0..5 {
+        let x = mask & (a.0[i] ^ b.0[i]);
+        a.0[i] ^= x;
+        b.0[i] ^= x;
+    }
+}
+
+/// The X25519 function: scalar multiplication on Curve25519's Montgomery
+/// ladder. `scalar` is clamped per RFC 7748 §5.
+pub fn x25519(scalar: &[u8; 32], u: &[u8; 32]) -> [u8; 32] {
+    let mut k = *scalar;
+    k[0] &= 248;
+    k[31] &= 127;
+    k[31] |= 64;
+    let mut u_masked = *u;
+    u_masked[31] &= 0x7f;
+
+    let x1 = Fe::from_bytes(&u_masked);
+    let mut x2 = ONE;
+    let mut z2 = ZERO;
+    let mut x3 = x1;
+    let mut z3 = ONE;
+    let mut swap = 0u64;
+
+    for t in (0..255).rev() {
+        let k_t = u64::from((k[t / 8] >> (t % 8)) & 1);
+        swap ^= k_t;
+        cswap(swap, &mut x2, &mut x3);
+        cswap(swap, &mut z2, &mut z3);
+        swap = k_t;
+
+        let a = x2.add(&z2);
+        let aa = a.square();
+        let b = x2.sub(&z2);
+        let bb = b.square();
+        let e = aa.sub(&bb);
+        let c = x3.add(&z3);
+        let d = x3.sub(&z3);
+        let da = d.mul(&a);
+        let cb = c.mul(&b);
+        x3 = da.add(&cb).square();
+        z3 = x1.mul(&da.sub(&cb).square());
+        x2 = aa.mul(&bb);
+        z2 = e.mul(&aa.add(&e.mul_small(121665)));
+    }
+    cswap(swap, &mut x2, &mut x3);
+    cswap(swap, &mut z2, &mut z3);
+
+    x2.mul(&z2.invert()).to_bytes()
+}
+
+/// The canonical base point u = 9.
+pub const BASEPOINT: [u8; 32] = {
+    let mut b = [0u8; 32];
+    b[0] = 9;
+    b
+};
+
+/// Derives the public key for `secret` (scalar × base point).
+pub fn public_key(secret: &[u8; 32]) -> [u8; 32] {
+    x25519(secret, &BASEPOINT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcodec::hex;
+
+    /// RFC 7748 §5.2 test vector 1.
+    #[test]
+    fn rfc7748_vector1() {
+        let scalar: [u8; 32] =
+            hex::decode("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4")
+                .unwrap()
+                .try_into()
+                .unwrap();
+        let u: [u8; 32] =
+            hex::decode("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c")
+                .unwrap()
+                .try_into()
+                .unwrap();
+        let out = x25519(&scalar, &u);
+        assert_eq!(
+            hex::encode(&out),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552"
+        );
+    }
+
+    /// RFC 7748 §5.2 test vector 2.
+    #[test]
+    fn rfc7748_vector2() {
+        let scalar: [u8; 32] =
+            hex::decode("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d")
+                .unwrap()
+                .try_into()
+                .unwrap();
+        let u: [u8; 32] =
+            hex::decode("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493")
+                .unwrap()
+                .try_into()
+                .unwrap();
+        let out = x25519(&scalar, &u);
+        assert_eq!(
+            hex::encode(&out),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957"
+        );
+    }
+
+    /// RFC 7748 §6.1 Diffie-Hellman: Alice and Bob derive the same secret.
+    #[test]
+    fn rfc7748_dh() {
+        let alice_sk: [u8; 32] =
+            hex::decode("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a")
+                .unwrap()
+                .try_into()
+                .unwrap();
+        let bob_sk: [u8; 32] =
+            hex::decode("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb")
+                .unwrap()
+                .try_into()
+                .unwrap();
+        let alice_pk = public_key(&alice_sk);
+        assert_eq!(
+            hex::encode(&alice_pk),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a"
+        );
+        let bob_pk = public_key(&bob_sk);
+        assert_eq!(
+            hex::encode(&bob_pk),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f"
+        );
+        let k1 = x25519(&alice_sk, &bob_pk);
+        let k2 = x25519(&bob_sk, &alice_pk);
+        assert_eq!(k1, k2);
+        assert_eq!(
+            hex::encode(&k1),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742"
+        );
+    }
+
+    /// RFC 7748 §5.2 iterated test (1 and 1000 iterations).
+    #[test]
+    fn rfc7748_iterated() {
+        let mut k: [u8; 32] = BASEPOINT;
+        let mut u: [u8; 32] = BASEPOINT;
+        for _ in 0..1 {
+            let out = x25519(&k, &u);
+            u = k;
+            k = out;
+        }
+        assert_eq!(
+            hex::encode(&k),
+            "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079"
+        );
+        for _ in 1..1000 {
+            let out = x25519(&k, &u);
+            u = k;
+            k = out;
+        }
+        assert_eq!(
+            hex::encode(&k),
+            "684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51"
+        );
+    }
+
+    /// Field round-trip at the byte level.
+    #[test]
+    fn fe_bytes_roundtrip() {
+        let mut v = [0u8; 32];
+        for i in 0..32 {
+            v[i] = (i as u8).wrapping_mul(37).wrapping_add(1);
+        }
+        v[31] &= 0x7f;
+        let fe = Fe::from_bytes(&v);
+        assert_eq!(fe.to_bytes(), v);
+    }
+}

@@ -1,0 +1,469 @@
+//! QScanner: the paper's stateful QUIC scanner (§3.4).
+//!
+//! Completes full QUIC handshakes with targets — IPv4/IPv6 addresses,
+//! optionally combined with a domain used as SNI — and extracts QUIC
+//! transport parameters, TLS properties and HTTP/3 headers. Scans
+//! parallelize across worker threads (crossbeam channels distribute
+//! targets), mirroring the paper's parallelized quic-go-based scanner.
+
+use crossbeam::channel;
+
+use h3::qpack::Header;
+use h3::request::{self, Response};
+use qtls::client::PeerTlsInfo;
+use quic::conn::{ClientConnection, ConnectionState, HandshakeOutcome};
+use quic::tparams::TransportParameters;
+use quic::version::Version;
+use quic::ClientConfig;
+use simnet::{IpAddr, Network, SocketAddr};
+
+/// One stateful scan target.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QuicTarget {
+    /// Target address (UDP 443).
+    pub addr: IpAddr,
+    /// SNI to use (None = the no-SNI scan).
+    pub sni: Option<String>,
+}
+
+/// Scan outcome classification — the Table 3 rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScanOutcome {
+    /// Handshake (and optional HTTP request) completed.
+    Success,
+    /// No response before the scanner gave up.
+    Timeout,
+    /// CONNECTION_CLOSE with a transport/crypto error code.
+    TransportClose {
+        /// The error code (0x128 = generic crypto alert 40).
+        code: u64,
+        /// The implementation-specific reason phrase.
+        reason: String,
+    },
+    /// No mutually supported version.
+    VersionMismatch,
+    /// Everything else (TLS failure on our side, protocol errors).
+    Other(String),
+}
+
+impl ScanOutcome {
+    /// True for the crypto error 0x128 the paper highlights.
+    pub fn is_crypto_0x128(&self) -> bool {
+        matches!(self, ScanOutcome::TransportClose { code: 0x128, .. })
+    }
+}
+
+/// Everything recorded about one target.
+#[derive(Debug, Clone)]
+pub struct QuicScanResult {
+    /// Target address.
+    pub addr: IpAddr,
+    /// SNI used.
+    pub sni: Option<String>,
+    /// Outcome classification.
+    pub outcome: ScanOutcome,
+    /// Negotiated QUIC version (on success).
+    pub version: Option<Version>,
+    /// Peer TLS properties (on success).
+    pub tls: Option<PeerTlsInfo>,
+    /// Peer transport parameters (on success).
+    pub transport_params: Option<TransportParameters>,
+    /// HTTP/3 HEAD response (on success when HTTP is enabled).
+    pub http: Option<Response>,
+}
+
+impl QuicScanResult {
+    /// Shortcut: the HTTP `Server` header.
+    pub fn server_header(&self) -> Option<&str> {
+        self.http.as_ref().and_then(|r| r.header("server"))
+    }
+
+    /// Shortcut: the transport-parameter configuration key (Fig. 9).
+    pub fn tp_config_key(&self) -> Option<String> {
+        self.transport_params.as_ref().map(|tp| tp.config_key())
+    }
+}
+
+/// The scanner.
+pub struct QScanner {
+    /// Vantage source address.
+    pub source_ip: IpAddr,
+    /// Versions offered, most preferred first (the QScanner of the paper
+    /// supported draft 29/32/34, later v1).
+    pub versions: Vec<Version>,
+    /// Send an HTTP/3 HEAD request after the handshake.
+    pub http_head: bool,
+    /// Base seed.
+    pub seed: u64,
+    /// Max request/response pump rounds before declaring a timeout.
+    pub max_rounds: usize,
+}
+
+impl QScanner {
+    /// Scanner with the paper's configuration.
+    pub fn new(source_ip: IpAddr, seed: u64) -> Self {
+        QScanner {
+            source_ip,
+            versions: vec![Version::DRAFT_29, Version::DRAFT_32, Version::DRAFT_34],
+            http_head: true,
+            seed,
+            max_rounds: 10,
+        }
+    }
+
+    fn client_config(&self, sni: Option<&str>) -> ClientConfig {
+        ClientConfig {
+            versions: self.versions.clone(),
+            tls: qtls::ClientConfig {
+                server_name: sni.map(str::to_string),
+                alpn: self
+                    .versions
+                    .iter()
+                    .map(|v| v.alpn().into_bytes())
+                    .collect(),
+                ..qtls::ClientConfig::default()
+            },
+            transport_params: TransportParameters {
+                initial_max_data: 1_048_576,
+                initial_max_stream_data_bidi_local: 262_144,
+                initial_max_stream_data_bidi_remote: 262_144,
+                initial_max_stream_data_uni: 262_144,
+                initial_max_streams_bidi: 16,
+                initial_max_streams_uni: 16,
+                ..TransportParameters::default()
+            },
+            max_vn_retries: 1,
+        }
+    }
+
+    /// Scans one target.
+    pub fn scan_one(&self, net: &Network, target: &QuicTarget, index: u64) -> QuicScanResult {
+        let src = SocketAddr::new(self.source_ip, 10_000 + (index % 50_000) as u16);
+        let dst = SocketAddr::new(target.addr, 443);
+        let seed = self.seed ^ index.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        let mut conn = ClientConnection::new(self.client_config(target.sni.as_deref()), seed);
+
+        let mut result = QuicScanResult {
+            addr: target.addr,
+            sni: target.sni.clone(),
+            outcome: ScanOutcome::Timeout,
+            version: None,
+            tls: None,
+            transport_params: None,
+            http: None,
+        };
+
+        // Handshake pump.
+        let mut got_reply = false;
+        for _ in 0..self.max_rounds {
+            let out = conn.poll_transmit();
+            if out.is_empty() {
+                break;
+            }
+            for datagram in out {
+                for reply in net.udp_send(src, dst, &datagram) {
+                    got_reply = true;
+                    conn.on_datagram(&reply);
+                }
+            }
+            if conn.state() != &ConnectionState::Handshaking {
+                break;
+            }
+        }
+        let _ = got_reply;
+
+        match conn.outcome() {
+            Some(HandshakeOutcome::Established) => {}
+            Some(HandshakeOutcome::VersionMismatch { .. }) => {
+                result.outcome = ScanOutcome::VersionMismatch;
+                return result;
+            }
+            Some(HandshakeOutcome::TransportClose { code, reason }) => {
+                result.outcome =
+                    ScanOutcome::TransportClose { code: code.0, reason: reason.clone() };
+                return result;
+            }
+            Some(HandshakeOutcome::TlsFailure(e)) => {
+                result.outcome = ScanOutcome::Other(format!("tls: {e}"));
+                return result;
+            }
+            Some(HandshakeOutcome::ProtocolError(e)) => {
+                result.outcome = ScanOutcome::Other(format!("protocol: {e}"));
+                return result;
+            }
+            None => {
+                result.outcome = ScanOutcome::Timeout;
+                return result;
+            }
+        }
+
+        result.version = Some(conn.version());
+        result.tls = conn.tls_info().cloned();
+        result.transport_params = conn.peer_transport_params().cloned();
+
+        if self.http_head {
+            let authority =
+                target.sni.clone().unwrap_or_else(|| target.addr.to_string());
+            let control = conn.open_uni_stream();
+            conn.send_stream(control, &request::client_control_stream(), false);
+            let stream = conn.open_bidi_stream();
+            conn.send_stream(
+                stream,
+                &request::encode_request(
+                    "HEAD",
+                    &authority,
+                    "/",
+                    &[Header::new("user-agent", "qscanner-sim/1.0")],
+                ),
+                true,
+            );
+            for _ in 0..self.max_rounds {
+                let out = conn.poll_transmit();
+                if out.is_empty() {
+                    break;
+                }
+                for datagram in out {
+                    for reply in net.udp_send(src, dst, &datagram) {
+                        conn.on_datagram(&reply);
+                    }
+                }
+            }
+            for s in conn.poll_streams() {
+                if s.id == stream {
+                    result.http = request::decode_response(&s.data);
+                }
+            }
+        }
+
+        result.outcome = ScanOutcome::Success;
+        result
+    }
+
+    /// Scans targets across `workers` threads.
+    pub fn scan_many(
+        &self,
+        net: &Network,
+        targets: &[QuicTarget],
+        workers: usize,
+    ) -> Vec<QuicScanResult> {
+        if workers <= 1 || targets.len() < 64 {
+            return targets
+                .iter()
+                .enumerate()
+                .map(|(i, t)| self.scan_one(net, t, i as u64))
+                .collect();
+        }
+        let (tx, rx) = channel::unbounded::<(usize, QuicScanResult)>();
+        std::thread::scope(|scope| {
+            let chunk = targets.len().div_ceil(workers);
+            for (w, slice) in targets.chunks(chunk).enumerate() {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    for (j, t) in slice.iter().enumerate() {
+                        let index = (w * chunk + j) as u64;
+                        let r = self.scan_one(net, t, index);
+                        let _ = tx.send((w * chunk + j, r));
+                    }
+                });
+            }
+            drop(tx);
+        });
+        let mut indexed: Vec<(usize, QuicScanResult)> = rx.into_iter().collect();
+        indexed.sort_by_key(|(i, _)| *i);
+        indexed.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use internet::{Universe, UniverseConfig};
+    use simnet::addr::Ipv4Addr;
+
+    fn universe() -> Universe {
+        Universe::generate(UniverseConfig::tiny(18))
+    }
+
+    fn vantage() -> IpAddr {
+        IpAddr::V4(Ipv4Addr::new(192, 0, 2, 10))
+    }
+
+    #[test]
+    fn sni_scan_of_cloudflare_succeeds_with_full_properties() {
+        let u = universe();
+        let net = u.build_network();
+        let scanner = QScanner::new(vantage(), 1);
+        let domain = u
+            .domains
+            .iter()
+            .find(|d| d.name.contains("cf-customer") && !d.v4_hosts.is_empty())
+            .unwrap();
+        let host = &u.hosts[domain.v4_hosts[0] as usize];
+        let target =
+            QuicTarget { addr: IpAddr::V4(host.v4.unwrap()), sni: Some(domain.name.clone()) };
+        let r = scanner.scan_one(&net, &target, 0);
+        assert_eq!(r.outcome, ScanOutcome::Success, "{:?}", r.outcome);
+        assert_eq!(r.server_header(), Some("cloudflare"));
+        let tp = r.transport_params.as_ref().unwrap();
+        assert_eq!(tp.initial_max_stream_data_bidi_local, 1_048_576);
+        assert!(r.tls.unwrap().certificates[0].matches_name(&domain.name));
+    }
+
+    #[test]
+    fn no_sni_scan_of_cloudflare_yields_0x128() {
+        let u = universe();
+        let net = u.build_network();
+        let scanner = QScanner::new(vantage(), 1);
+        let host = u.hosts.iter().find(|h| h.provider == "cloudflare").unwrap();
+        let target = QuicTarget { addr: IpAddr::V4(host.v4.unwrap()), sni: None };
+        let r = scanner.scan_one(&net, &target, 0);
+        assert!(r.outcome.is_crypto_0x128(), "{:?}", r.outcome);
+        if let ScanOutcome::TransportClose { reason, .. } = &r.outcome {
+            assert_eq!(reason, "handshake failure"); // Cloudflare wording
+        }
+    }
+
+    #[test]
+    fn google_rollout_host_version_mismatches() {
+        let u = universe();
+        let net = u.build_network();
+        let scanner = QScanner::new(vantage(), 1);
+        let host = u
+            .hosts
+            .iter()
+            .find(|h| h.behavior == internet::HostBehavior::GoogleRollout)
+            .unwrap();
+        let target = QuicTarget { addr: IpAddr::V4(host.v4.unwrap()), sni: None };
+        let r = scanner.scan_one(&net, &target, 0);
+        assert_eq!(r.outcome, ScanOutcome::VersionMismatch, "{:?}", r.outcome);
+    }
+
+    #[test]
+    fn vn_only_middlebox_times_out() {
+        let u = universe();
+        let net = u.build_network();
+        let scanner = QScanner::new(vantage(), 1);
+        let host = u.hosts.iter().find(|h| h.provider == "akamai").unwrap();
+        let target = QuicTarget { addr: IpAddr::V4(host.v4.unwrap()), sni: None };
+        let r = scanner.scan_one(&net, &target, 0);
+        assert_eq!(r.outcome, ScanOutcome::Timeout);
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential() {
+        let u = universe();
+        let scanner = QScanner::new(vantage(), 1);
+        let targets: Vec<QuicTarget> = u
+            .hosts
+            .iter()
+            .filter(|h| h.provider == "cloudflare")
+            .take(80)
+            .map(|h| QuicTarget { addr: IpAddr::V4(h.v4.unwrap()), sni: None })
+            .collect();
+        // Fresh networks per run: server endpoints keep per-flow state.
+        let seq = scanner.scan_many(&u.build_network(), &targets, 1);
+        let par = scanner.scan_many(&u.build_network(), &targets, 4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.addr, b.addr);
+            assert_eq!(a.outcome, b.outcome);
+        }
+    }
+}
+
+/// Machine-readable result export (the released QScanner writes CSV result
+/// files; this mirrors that surface).
+pub mod export {
+    use super::{QuicScanResult, ScanOutcome};
+
+    /// CSV header row.
+    pub const CSV_HEADER: &str = "addr,sni,outcome,error_code,version,tls_version,cipher,group,cert_subject,server,alpn,tp_config";
+
+    fn field(s: &str) -> String {
+        if s.contains(',') || s.contains('"') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    }
+
+    /// Serializes one result as a CSV row.
+    pub fn csv_row(r: &QuicScanResult) -> String {
+        let (outcome, code) = match &r.outcome {
+            ScanOutcome::Success => ("success".to_string(), String::new()),
+            ScanOutcome::Timeout => ("timeout".to_string(), String::new()),
+            ScanOutcome::TransportClose { code, .. } => {
+                ("close".to_string(), format!("0x{code:x}"))
+            }
+            ScanOutcome::VersionMismatch => ("version_mismatch".to_string(), String::new()),
+            ScanOutcome::Other(e) => (format!("other:{e}"), String::new()),
+        };
+        let tls = r.tls.as_ref();
+        let cols = [
+            r.addr.to_string(),
+            r.sni.clone().unwrap_or_default(),
+            outcome,
+            code,
+            r.version.map(|v| v.label()).unwrap_or_default(),
+            tls.map(|t| t.tls_version.label().to_string()).unwrap_or_default(),
+            tls.map(|t| t.cipher.name().to_string()).unwrap_or_default(),
+            tls.map(|t| t.group.name().to_string()).unwrap_or_default(),
+            tls.and_then(|t| t.certificates.first())
+                .map(|c| c.subject.clone())
+                .unwrap_or_default(),
+            r.server_header().unwrap_or_default().to_string(),
+            tls.and_then(|t| t.alpn.as_ref())
+                .map(|a| String::from_utf8_lossy(a).into_owned())
+                .unwrap_or_default(),
+            r.tp_config_key().unwrap_or_default(),
+        ];
+        cols.iter().map(|c| field(c)).collect::<Vec<_>>().join(",")
+    }
+
+    /// Writes a full result set to a CSV file.
+    pub fn write_csv(
+        path: &std::path::Path,
+        results: &[QuicScanResult],
+    ) -> std::io::Result<()> {
+        use std::io::Write;
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "{CSV_HEADER}")?;
+        for r in results {
+            writeln!(f, "{}", csv_row(r))?;
+        }
+        Ok(())
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use simnet::addr::Ipv4Addr;
+        use simnet::IpAddr;
+
+        #[test]
+        fn rows_serialize_every_outcome() {
+            let base = QuicScanResult {
+                addr: IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1)),
+                sni: Some("a,b.example".into()),
+                outcome: ScanOutcome::Success,
+                version: Some(quic::Version::DRAFT_29),
+                tls: None,
+                transport_params: None,
+                http: None,
+            };
+            let row = csv_row(&base);
+            assert!(row.starts_with("10.0.0.1,\"a,b.example\",success"));
+            assert!(row.contains("draft-29"));
+
+            let close = QuicScanResult {
+                outcome: ScanOutcome::TransportClose { code: 0x128, reason: "x".into() },
+                ..base.clone()
+            };
+            assert!(csv_row(&close).contains("close,0x128"));
+
+            let mismatch =
+                QuicScanResult { outcome: ScanOutcome::VersionMismatch, ..base.clone() };
+            assert!(csv_row(&mismatch).contains("version_mismatch"));
+        }
+    }
+}

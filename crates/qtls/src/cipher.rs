@@ -1,0 +1,83 @@
+//! TLS 1.3 cipher suites (RFC 8446 §B.4) — the subset QUIC permits.
+
+use qcrypto::aead::AeadAlgorithm;
+
+/// Negotiable AEAD cipher suites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CipherSuite {
+    /// TLS_AES_128_GCM_SHA256 — mandatory, and what "most servers chose in
+    /// both scans" per the paper (§5.1).
+    Aes128GcmSha256,
+    /// TLS_AES_256_GCM_SHA384.
+    Aes256GcmSha384,
+    /// TLS_CHACHA20_POLY1305_SHA256.
+    ChaCha20Poly1305Sha256,
+}
+
+impl CipherSuite {
+    /// IANA wire value.
+    pub fn wire(self) -> u16 {
+        match self {
+            CipherSuite::Aes128GcmSha256 => 0x1301,
+            CipherSuite::Aes256GcmSha384 => 0x1302,
+            CipherSuite::ChaCha20Poly1305Sha256 => 0x1303,
+        }
+    }
+
+    /// Decodes a wire value.
+    pub fn from_wire(v: u16) -> Option<CipherSuite> {
+        Some(match v {
+            0x1301 => CipherSuite::Aes128GcmSha256,
+            0x1302 => CipherSuite::Aes256GcmSha384,
+            0x1303 => CipherSuite::ChaCha20Poly1305Sha256,
+            _ => return None,
+        })
+    }
+
+    /// The AEAD algorithm backing this suite.
+    pub fn aead(self) -> AeadAlgorithm {
+        match self {
+            CipherSuite::Aes128GcmSha256 => AeadAlgorithm::Aes128Gcm,
+            CipherSuite::Aes256GcmSha384 => AeadAlgorithm::Aes256Gcm,
+            CipherSuite::ChaCha20Poly1305Sha256 => AeadAlgorithm::ChaCha20Poly1305,
+        }
+    }
+
+    /// Registry name, as reported in scan results.
+    pub fn name(self) -> &'static str {
+        match self {
+            CipherSuite::Aes128GcmSha256 => "TLS_AES_128_GCM_SHA256",
+            CipherSuite::Aes256GcmSha384 => "TLS_AES_256_GCM_SHA384",
+            CipherSuite::ChaCha20Poly1305Sha256 => "TLS_CHACHA20_POLY1305_SHA256",
+        }
+    }
+
+    /// The default client offer order (mirrors the QScanner's Client Hello).
+    pub fn default_offer() -> Vec<CipherSuite> {
+        vec![
+            CipherSuite::Aes128GcmSha256,
+            CipherSuite::Aes256GcmSha384,
+            CipherSuite::ChaCha20Poly1305Sha256,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_roundtrip() {
+        for s in CipherSuite::default_offer() {
+            assert_eq!(CipherSuite::from_wire(s.wire()), Some(s));
+        }
+        assert_eq!(CipherSuite::from_wire(0x1304), None);
+    }
+
+    #[test]
+    fn aead_key_lengths() {
+        assert_eq!(CipherSuite::Aes128GcmSha256.aead().key_len(), 16);
+        assert_eq!(CipherSuite::Aes256GcmSha384.aead().key_len(), 32);
+        assert_eq!(CipherSuite::ChaCha20Poly1305Sha256.aead().key_len(), 32);
+    }
+}

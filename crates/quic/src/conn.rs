@@ -1,0 +1,675 @@
+//! Sans-IO QUIC client connection — the engine inside the QScanner.
+//!
+//! Drives the handshake of Figure 2 in the paper: the Initial flight
+//! (a CRYPTO frame carrying the Client Hello, padded to 1200 bytes) out, optional Version Negotiation handling, server Initial +
+//! Handshake flight in, client Finished out, then 1-RTT stream data for
+//! HTTP/3. No loss recovery: the simulated network is lossless by default
+//! and scan outcomes treat silence as a timeout, exactly like the scanner.
+
+use std::collections::{BTreeMap, HashMap};
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use qcodec::Writer;
+use qtls::client::{ClientHandshake, PeerTlsInfo};
+use qtls::{Level, TlsError, TlsEvent};
+
+use crate::error::TransportError;
+use crate::frame::Frame;
+use crate::keys::{initial_keys, PacketKeys};
+use crate::packet::{
+    decode_first, seal_long, seal_short, ConnectionId, KeySource, Packet, PacketType,
+};
+use crate::tparams::TransportParameters;
+use crate::version::Version;
+
+/// Client connection configuration.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Versions the client supports, most preferred first; the first is
+    /// offered initially and the rest are retried after Version Negotiation.
+    pub versions: Vec<Version>,
+    /// TLS offer (SNI, ALPN, ciphers, groups).
+    pub tls: qtls::ClientConfig,
+    /// Client transport parameters.
+    pub transport_params: TransportParameters,
+    /// How many Version Negotiation restarts to attempt.
+    pub max_vn_retries: u32,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            versions: vec![Version::DRAFT_29, Version::DRAFT_32, Version::DRAFT_34],
+            tls: qtls::ClientConfig::default(),
+            transport_params: TransportParameters::default(),
+            max_vn_retries: 1,
+        }
+    }
+}
+
+/// Where the connection stands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConnectionState {
+    /// Still handshaking.
+    Handshaking,
+    /// Handshake finished successfully.
+    Established,
+    /// Terminally failed/closed; see [`HandshakeOutcome`].
+    Closed,
+}
+
+/// Terminal classification of a connection attempt — the QScanner's result
+/// categories (Table 3 rows, minus Timeout which the scan driver decides).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HandshakeOutcome {
+    /// Handshake completed.
+    Established,
+    /// Version negotiation could not converge: none of our versions is
+    /// acceptable, or the server illegally listed the offered version.
+    VersionMismatch {
+        /// Versions we offered.
+        offered: Vec<Version>,
+        /// Versions the server advertised in its VN packet.
+        server_versions: Vec<Version>,
+    },
+    /// Peer sent CONNECTION_CLOSE (e.g. crypto error 0x128).
+    TransportClose {
+        /// The QUIC error code.
+        code: TransportError,
+        /// The reason phrase (implementation-specific wording, §5).
+        reason: String,
+    },
+    /// Our TLS engine rejected the peer.
+    TlsFailure(String),
+    /// Protocol violation / undecodable traffic.
+    ProtocolError(String),
+}
+
+/// Data received on a stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamRecv {
+    /// Stream id.
+    pub id: u64,
+    /// Bytes (in order).
+    pub data: Vec<u8>,
+    /// FIN seen.
+    pub fin: bool,
+}
+
+#[derive(Default)]
+struct CryptoReassembler {
+    segments: BTreeMap<u64, Vec<u8>>,
+    consumed: u64,
+}
+
+impl CryptoReassembler {
+    fn insert(&mut self, offset: u64, data: &[u8]) {
+        if data.is_empty() {
+            return;
+        }
+        self.segments.entry(offset).or_insert_with(|| data.to_vec());
+    }
+
+    /// Pops the longest contiguous run starting at the consumed offset.
+    fn drain_contiguous(&mut self) -> Vec<u8> {
+        let mut out = Vec::new();
+        loop {
+            let Some((&off, _)) = self.segments.iter().next() else {
+                break;
+            };
+            if off > self.consumed {
+                break;
+            }
+            let seg = self.segments.remove(&off).expect("key just observed");
+            let skip = (self.consumed - off) as usize;
+            if skip < seg.len() {
+                out.extend_from_slice(&seg[skip..]);
+                self.consumed = off + seg.len() as u64;
+            }
+        }
+        out
+    }
+}
+
+#[derive(Default)]
+struct OpenKeys {
+    initial: Option<PacketKeys>,
+    handshake: Option<PacketKeys>,
+    app: Option<PacketKeys>,
+}
+
+impl KeySource for OpenKeys {
+    fn keys_for(&self, ty: PacketType) -> Option<&PacketKeys> {
+        match ty {
+            PacketType::Initial => self.initial.as_ref(),
+            PacketType::Handshake => self.handshake.as_ref(),
+            PacketType::OneRtt => self.app.as_ref(),
+            _ => None,
+        }
+    }
+}
+
+const SPACE_INITIAL: usize = 0;
+const SPACE_HANDSHAKE: usize = 1;
+const SPACE_APP: usize = 2;
+
+/// Sans-IO QUIC client connection.
+pub struct ClientConnection {
+    config: ClientConfig,
+    version: Version,
+    scid: ConnectionId,
+    dcid: ConnectionId,
+    tls: ClientHandshake,
+    open_keys: OpenKeys,
+    seal_initial: Option<PacketKeys>,
+    seal_handshake: Option<PacketKeys>,
+    seal_app: Option<PacketKeys>,
+    next_pn: [u64; 3],
+    largest_recv: [Option<u64>; 3],
+    ack_pending: [bool; 3],
+    tx: Vec<Vec<u8>>,
+    crypto_rx: [CryptoReassembler; 3],
+    crypto_tx_pending: Vec<(Level, Vec<u8>)>,
+    state: ConnectionState,
+    outcome: Option<HandshakeOutcome>,
+    peer_transport_params: Option<TransportParameters>,
+    handshake_done: bool,
+    streams_rx: HashMap<u64, StreamRecv>,
+    next_bidi_stream: u64,
+    next_uni_stream: u64,
+    vn_retries_left: u32,
+    saw_server_packet: bool,
+    /// Address-validation token to echo in Initials (set by a Retry).
+    retry_token: Vec<u8>,
+    /// DCID dictated by a Retry packet (replaces the random one).
+    retry_dcid: Option<ConnectionId>,
+    retry_seen: bool,
+    rng: StdRng,
+}
+
+impl ClientConnection {
+    /// Creates a connection and queues the padded Initial datagram.
+    pub fn new(config: ClientConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let version = config.versions.first().copied().unwrap_or(Version::V1);
+        let mut conn = ClientConnection {
+            config,
+            version,
+            scid: ConnectionId::empty(),
+            dcid: ConnectionId::empty(),
+            tls: ClientHandshake::start(qtls::ClientConfig::default(), &mut rng).0,
+            open_keys: OpenKeys::default(),
+            seal_initial: None,
+            seal_handshake: None,
+            seal_app: None,
+            next_pn: [0; 3],
+            largest_recv: [None; 3],
+            ack_pending: [false; 3],
+            tx: Vec::new(),
+            crypto_rx: Default::default(),
+            crypto_tx_pending: Vec::new(),
+            state: ConnectionState::Handshaking,
+            outcome: None,
+            peer_transport_params: None,
+            handshake_done: false,
+            streams_rx: HashMap::new(),
+            next_bidi_stream: 0,
+            next_uni_stream: 2,
+            vn_retries_left: 0,
+            saw_server_packet: false,
+            retry_token: Vec::new(),
+            retry_dcid: None,
+            retry_seen: false,
+            rng,
+        };
+        conn.vn_retries_left = conn.config.max_vn_retries;
+        conn.start_attempt(version);
+        conn
+    }
+
+    /// (Re)starts a connection attempt with `version`.
+    fn start_attempt(&mut self, version: Version) {
+        self.version = version;
+        let mut scid = [0u8; 8];
+        self.rng.fill_bytes(&mut scid);
+        self.scid = ConnectionId::new(&scid);
+        self.dcid = match self.retry_dcid.take() {
+            Some(cid) => cid,
+            None => {
+                let mut dcid = [0u8; 8];
+                self.rng.fill_bytes(&mut dcid);
+                ConnectionId::new(&dcid)
+            }
+        };
+
+        let (client_keys, server_keys) = initial_keys(version, self.dcid.as_slice());
+        self.seal_initial = Some(client_keys);
+        self.open_keys = OpenKeys { initial: Some(server_keys), handshake: None, app: None };
+        self.seal_handshake = None;
+        self.seal_app = None;
+        self.next_pn = [0; 3];
+        self.largest_recv = [None; 3];
+        self.ack_pending = [false; 3];
+        self.crypto_rx = Default::default();
+        self.crypto_tx_pending.clear();
+
+        let mut tls_cfg = self.config.tls.clone();
+        let mut tp = self.config.transport_params.clone();
+        tp.initial_source_connection_id = Some(self.scid.0.clone());
+        tls_cfg.quic_transport_params = Some(tp.encode());
+        let (tls, ch_bytes) = ClientHandshake::start(tls_cfg, &mut self.rng);
+        self.tls = tls;
+
+        // CRYPTO[CH] padded so the datagram reaches 1200 bytes (RFC 9000
+        // §14.1 — the padding requirement the paper's §3.1 experiment tests).
+        let mut payload = Writer::new();
+        Frame::Crypto { offset: 0, data: ch_bytes }.encode(&mut payload);
+        let keys = self.seal_initial.as_ref().expect("initial keys installed");
+        let token = self.retry_token.clone();
+        let probe = seal_long(
+            PacketType::Initial,
+            version,
+            &self.dcid,
+            &self.scid,
+            &token,
+            self.next_pn[SPACE_INITIAL],
+            payload.as_slice(),
+            keys,
+            0,
+        );
+        let deficit = 1200usize.saturating_sub(probe.len());
+        let datagram = seal_long(
+            PacketType::Initial,
+            version,
+            &self.dcid,
+            &self.scid,
+            &token,
+            self.next_pn[SPACE_INITIAL],
+            payload.as_slice(),
+            keys,
+            payload.len() + deficit,
+        );
+        self.next_pn[SPACE_INITIAL] += 1;
+        self.tx.push(datagram);
+    }
+
+    /// The version currently being attempted.
+    pub fn version(&self) -> Version {
+        self.version
+    }
+
+    /// Current state.
+    pub fn state(&self) -> &ConnectionState {
+        &self.state
+    }
+
+    /// Terminal outcome, if the connection is finished.
+    pub fn outcome(&self) -> Option<&HandshakeOutcome> {
+        self.outcome.as_ref()
+    }
+
+    /// The peer's decoded transport parameters (after the handshake).
+    pub fn peer_transport_params(&self) -> Option<&TransportParameters> {
+        self.peer_transport_params.as_ref()
+    }
+
+    /// The peer's TLS properties (after the handshake).
+    pub fn tls_info(&self) -> Option<&PeerTlsInfo> {
+        self.tls.peer_info()
+    }
+
+    /// True once HANDSHAKE_DONE was received.
+    pub fn handshake_done(&self) -> bool {
+        self.handshake_done
+    }
+
+    /// Drains datagrams to transmit.
+    pub fn poll_transmit(&mut self) -> Vec<Vec<u8>> {
+        std::mem::take(&mut self.tx)
+    }
+
+    /// Drains received stream data (coalesced per stream).
+    pub fn poll_streams(&mut self) -> Vec<StreamRecv> {
+        let mut out: Vec<StreamRecv> = self.streams_rx.drain().map(|(_, v)| v).collect();
+        out.sort_by_key(|s| s.id);
+        out
+    }
+
+    /// Opens a client-initiated bidirectional stream, returning its id.
+    pub fn open_bidi_stream(&mut self) -> u64 {
+        let id = self.next_bidi_stream;
+        self.next_bidi_stream += 4;
+        id
+    }
+
+    /// Opens a client-initiated unidirectional stream, returning its id.
+    pub fn open_uni_stream(&mut self) -> u64 {
+        let id = self.next_uni_stream;
+        self.next_uni_stream += 4;
+        id
+    }
+
+    /// Sends stream data in a 1-RTT packet (connection must be established).
+    pub fn send_stream(&mut self, id: u64, data: &[u8], fin: bool) {
+        assert!(
+            self.state == ConnectionState::Established,
+            "stream data requires an established connection"
+        );
+        let mut payload = Writer::new();
+        Frame::Stream { id, offset: 0, fin, data: data.to_vec() }.encode(&mut payload);
+        let keys = self.seal_app.as_ref().expect("1-RTT keys installed");
+        let pkt = seal_short(&self.dcid, self.next_pn[SPACE_APP], payload.as_slice(), keys);
+        self.next_pn[SPACE_APP] += 1;
+        self.tx.push(pkt);
+    }
+
+    fn close_with(&mut self, outcome: HandshakeOutcome) {
+        if self.outcome.is_none() {
+            self.outcome = Some(outcome);
+        }
+        self.state = ConnectionState::Closed;
+    }
+
+    /// Feeds one received datagram.
+    pub fn on_datagram(&mut self, data: &[u8]) {
+        if self.state == ConnectionState::Closed {
+            return;
+        }
+        // Retry packets have no length field (they consume the datagram) and
+        // no packet protection; handle them before the generic decoder.
+        if data.first().map(|b| b & 0xf0 == 0xf0).unwrap_or(false)
+            && data.len() > 5
+            && data[1..5] != [0, 0, 0, 0]
+        {
+            self.on_retry(data);
+            self.flush();
+            return;
+        }
+        // Decode incrementally: processing an Initial installs the keys the
+        // coalesced Handshake packets in the same datagram need.
+        let mut rest = data;
+        while !rest.is_empty() {
+            let decoded = decode_first(rest, self.scid.len(), &self.open_keys);
+            match decoded {
+                Ok((pkt, consumed)) => {
+                    rest = &rest[consumed..];
+                    self.on_packet(pkt);
+                    if self.state == ConnectionState::Closed {
+                        return;
+                    }
+                }
+                // Undecryptable coalesced tails are ignored (e.g. 1-RTT data
+                // arriving before keys are installed).
+                Err(_) => break,
+            }
+        }
+        self.flush();
+    }
+
+    fn on_packet(&mut self, pkt: Packet) {
+        match pkt.ty {
+            PacketType::VersionNegotiation => self.on_version_negotiation(pkt),
+            PacketType::Initial => {
+                self.saw_server_packet = true;
+                // RFC 9001 §4.2: the server's Initial SCID becomes our DCID.
+                if let Some(scid) = &pkt.scid {
+                    self.dcid = scid.clone();
+                }
+                self.note_recv(SPACE_INITIAL, pkt.packet_number);
+                self.process_frames(SPACE_INITIAL, Level::Initial, &pkt.payload);
+            }
+            PacketType::Handshake => {
+                self.note_recv(SPACE_HANDSHAKE, pkt.packet_number);
+                self.process_frames(SPACE_HANDSHAKE, Level::Handshake, &pkt.payload);
+            }
+            PacketType::OneRtt => {
+                self.note_recv(SPACE_APP, pkt.packet_number);
+                self.process_frames(SPACE_APP, Level::App, &pkt.payload);
+            }
+            PacketType::ZeroRtt | PacketType::Retry => {
+                // Never produced by our servers; ignore.
+            }
+        }
+    }
+
+    /// Handles an address-validation Retry (RFC 9000 §8.1.2): verify the
+    /// integrity tag against our original DCID, adopt the server's new
+    /// connection id, and resend the Initial with the token.
+    fn on_retry(&mut self, datagram: &[u8]) {
+        if self.saw_server_packet || self.retry_seen {
+            return; // only one Retry, only before other packets
+        }
+        let Some(retry) = crate::retry::decode_retry(datagram, &self.dcid) else {
+            return; // bad tag: drop silently per RFC 9001 §5.8
+        };
+        if retry.version != self.version || retry.scid.is_empty() {
+            return;
+        }
+        self.retry_seen = true;
+        self.retry_token = retry.token;
+        self.retry_dcid = Some(retry.scid);
+        self.tx.clear();
+        let version = self.version;
+        self.start_attempt(version);
+    }
+
+    fn on_version_negotiation(&mut self, pkt: Packet) {
+        if self.saw_server_packet {
+            return; // VN after real packets must be ignored (RFC 9000 §6.2)
+        }
+        let server_versions = pkt.supported_versions.clone();
+        // A VN listing the offered version is a protocol violation — and
+        // exactly what the Google roll-out inconsistency looked like.
+        if server_versions.contains(&self.version) {
+            self.close_with(HandshakeOutcome::VersionMismatch {
+                offered: self.config.versions.clone(),
+                server_versions,
+            });
+            return;
+        }
+        let next = self
+            .config
+            .versions
+            .iter()
+            .find(|v| server_versions.contains(v))
+            .copied();
+        match next {
+            Some(v) if self.vn_retries_left > 0 => {
+                self.vn_retries_left -= 1;
+                self.tx.clear();
+                self.start_attempt(v);
+            }
+            _ => {
+                self.close_with(HandshakeOutcome::VersionMismatch {
+                    offered: self.config.versions.clone(),
+                    server_versions,
+                });
+            }
+        }
+    }
+
+    fn note_recv(&mut self, space: usize, pn: u64) {
+        let largest = self.largest_recv[space].get_or_insert(pn);
+        if pn > *largest {
+            *largest = pn;
+        }
+        self.ack_pending[space] = true;
+    }
+
+    fn process_frames(&mut self, space: usize, level: Level, payload: &[u8]) {
+        let frames = match Frame::decode_all(payload) {
+            Ok(f) => f,
+            Err(_) => {
+                self.close_with(HandshakeOutcome::ProtocolError("bad frame".into()));
+                return;
+            }
+        };
+        for frame in frames {
+            match frame {
+                Frame::Crypto { offset, data } => {
+                    self.crypto_rx[space].insert(offset, &data);
+                    let ready = self.crypto_rx[space].drain_contiguous();
+                    if !ready.is_empty() {
+                        self.on_crypto(level, &ready);
+                    }
+                }
+                Frame::ConnectionClose { error_code, reason, .. } => {
+                    self.close_with(HandshakeOutcome::TransportClose {
+                        code: TransportError(error_code),
+                        reason,
+                    });
+                    return;
+                }
+                Frame::HandshakeDone => self.handshake_done = true,
+                Frame::Stream { id, offset: _, fin, data } => {
+                    let entry = self
+                        .streams_rx
+                        .entry(id)
+                        .or_insert(StreamRecv { id, data: Vec::new(), fin: false });
+                    entry.data.extend_from_slice(&data);
+                    entry.fin |= fin;
+                }
+                Frame::Padding(_)
+                | Frame::Ping
+                | Frame::Ack { .. }
+                | Frame::MaxData(_)
+                | Frame::MaxStreamData { .. }
+                | Frame::MaxStreams { .. }
+                | Frame::NewConnectionId { .. }
+                | Frame::NewToken { .. } => {}
+            }
+        }
+    }
+
+    fn on_crypto(&mut self, level: Level, data: &[u8]) {
+        let events = match self.tls.on_handshake_data(level, data) {
+            Ok(ev) => ev,
+            Err(TlsError::PeerAlert(code)) => {
+                self.close_with(HandshakeOutcome::TransportClose {
+                    code: TransportError::crypto(code),
+                    reason: "peer alert".into(),
+                });
+                return;
+            }
+            Err(e) => {
+                self.close_with(HandshakeOutcome::TlsFailure(e.to_string()));
+                return;
+            }
+        };
+        for ev in events {
+            match ev {
+                TlsEvent::SendHandshake(lvl, bytes) => {
+                    self.crypto_tx_pending.push((lvl, bytes));
+                }
+                TlsEvent::HandshakeKeys(hs) => {
+                    let alg = self
+                        .tls
+                        .negotiated_cipher()
+                        .unwrap_or(qtls::CipherSuite::Aes128GcmSha256)
+                        .aead();
+                    self.seal_handshake = Some(PacketKeys::from_secret(alg, &hs.client));
+                    self.open_keys.handshake = Some(PacketKeys::from_secret(alg, &hs.server));
+                }
+                TlsEvent::AppKeys(app) => {
+                    let alg = self
+                        .tls
+                        .negotiated_cipher()
+                        .unwrap_or(qtls::CipherSuite::Aes128GcmSha256)
+                        .aead();
+                    self.seal_app = Some(PacketKeys::from_secret(alg, &app.client));
+                    self.open_keys.app = Some(PacketKeys::from_secret(alg, &app.server));
+                }
+                TlsEvent::Complete => {
+                    self.state = ConnectionState::Established;
+                    self.outcome = Some(HandshakeOutcome::Established);
+                    if let Some(info) = self.tls.peer_info() {
+                        if let Some(tp) = &info.quic_transport_params {
+                            self.peer_transport_params = TransportParameters::decode(tp).ok();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Builds outgoing datagrams: pending CRYPTO, then ACKs per space.
+    fn flush(&mut self) {
+        let mut datagram = Vec::new();
+
+        // ACK in Initial space (the server waits for this to stop
+        // retransmitting; we always ack once we've seen anything).
+        if self.ack_pending[SPACE_INITIAL] && self.seal_initial.is_some() {
+            let mut payload = Writer::new();
+            let largest = self.largest_recv[SPACE_INITIAL].unwrap_or(0);
+            Frame::Ack { largest, delay: 0, ranges: vec![(0, largest)] }.encode(&mut payload);
+            let keys = self.seal_initial.as_ref().expect("initial seal keys");
+            datagram.extend(seal_long(
+                PacketType::Initial,
+                self.version,
+                &self.dcid,
+                &self.scid,
+                b"",
+                self.next_pn[SPACE_INITIAL],
+                payload.as_slice(),
+                keys,
+                20,
+            ));
+            self.next_pn[SPACE_INITIAL] += 1;
+            self.ack_pending[SPACE_INITIAL] = false;
+        }
+
+        // Handshake space: client Finished plus ACK.
+        let pending = std::mem::take(&mut self.crypto_tx_pending);
+        let mut handshake_payload = Writer::new();
+        if self.ack_pending[SPACE_HANDSHAKE] {
+            let largest = self.largest_recv[SPACE_HANDSHAKE].unwrap_or(0);
+            Frame::Ack { largest, delay: 0, ranges: vec![(0, largest)] }
+                .encode(&mut handshake_payload);
+            self.ack_pending[SPACE_HANDSHAKE] = false;
+        }
+        for (lvl, bytes) in pending {
+            if lvl == Level::Handshake {
+                Frame::Crypto { offset: 0, data: bytes }.encode(&mut handshake_payload);
+            }
+        }
+        if !handshake_payload.is_empty() {
+            if let Some(keys) = self.seal_handshake.as_ref() {
+                datagram.extend(seal_long(
+                    PacketType::Handshake,
+                    self.version,
+                    &self.dcid,
+                    &self.scid,
+                    b"",
+                    self.next_pn[SPACE_HANDSHAKE],
+                    handshake_payload.as_slice(),
+                    keys,
+                    20,
+                ));
+                self.next_pn[SPACE_HANDSHAKE] += 1;
+            }
+        }
+
+        // App space ACK.
+        if self.ack_pending[SPACE_APP] {
+            if let Some(keys) = self.seal_app.as_ref() {
+                let mut payload = Writer::new();
+                let largest = self.largest_recv[SPACE_APP].unwrap_or(0);
+                Frame::Ack { largest, delay: 0, ranges: vec![(0, largest)] }.encode(&mut payload);
+                datagram.extend(seal_short(
+                    &self.dcid,
+                    self.next_pn[SPACE_APP],
+                    payload.as_slice(),
+                    keys,
+                ));
+                self.next_pn[SPACE_APP] += 1;
+                self.ack_pending[SPACE_APP] = false;
+            }
+        }
+
+        if !datagram.is_empty() {
+            self.tx.push(datagram);
+        }
+    }
+}

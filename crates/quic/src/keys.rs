@@ -1,0 +1,155 @@
+//! QUIC packet protection keys (RFC 9001 §5).
+
+use qcrypto::aead::{header_protection_mask, Aead, AeadAlgorithm};
+use qcrypto::hkdf;
+
+use crate::version::Version;
+
+/// Per-direction packet protection material.
+pub struct PacketKeys {
+    aead: Aead,
+    iv: [u8; 12],
+    hp_key: Vec<u8>,
+    algorithm: AeadAlgorithm,
+}
+
+impl PacketKeys {
+    /// Derives key/IV/header-protection key from a traffic secret using the
+    /// `"quic key"`, `"quic iv"`, `"quic hp"` labels.
+    pub fn from_secret(algorithm: AeadAlgorithm, secret: &[u8]) -> Self {
+        let key = hkdf::expand_label(secret, "quic key", &[], algorithm.key_len());
+        let iv_bytes = hkdf::expand_label(secret, "quic iv", &[], algorithm.iv_len());
+        let hp_key = hkdf::expand_label(secret, "quic hp", &[], algorithm.key_len());
+        let mut iv = [0u8; 12];
+        iv.copy_from_slice(&iv_bytes);
+        PacketKeys { aead: Aead::new(algorithm, &key), iv, hp_key, algorithm }
+    }
+
+    /// Packet-protection nonce: IV XOR packet number (RFC 9001 §5.3).
+    fn nonce(&self, packet_number: u64) -> [u8; 12] {
+        let mut n = self.iv;
+        let pn = packet_number.to_be_bytes();
+        for i in 0..8 {
+            n[4 + i] ^= pn[i];
+        }
+        n
+    }
+
+    /// AEAD-seals a packet payload. `aad` is the packet header with the
+    /// unprotected packet number.
+    pub fn seal(&self, packet_number: u64, aad: &[u8], payload: &[u8]) -> Vec<u8> {
+        self.aead.seal(&self.nonce(packet_number), aad, payload)
+    }
+
+    /// AEAD-opens a packet payload.
+    pub fn open(
+        &self,
+        packet_number: u64,
+        aad: &[u8],
+        ciphertext: &[u8],
+    ) -> Result<Vec<u8>, qcrypto::AuthError> {
+        self.aead.open(&self.nonce(packet_number), aad, ciphertext)
+    }
+
+    /// Header-protection mask for a 16-byte ciphertext sample (RFC 9001 §5.4).
+    pub fn hp_mask(&self, sample: &[u8; 16]) -> [u8; 5] {
+        header_protection_mask(self.algorithm, &self.hp_key, sample)
+    }
+
+    /// AEAD tag overhead in bytes.
+    pub fn tag_len(&self) -> usize {
+        self.algorithm.tag_len()
+    }
+}
+
+/// The version-specific Initial salt (RFC 9001 §5.2 and the draft lineage).
+pub fn initial_salt(version: Version) -> &'static [u8] {
+    // v1 and draft-33/34.
+    const SALT_V1: [u8; 20] = [
+        0x38, 0x76, 0x2c, 0xf7, 0xf5, 0x59, 0x34, 0xb3, 0x4d, 0x17, 0x9a, 0xe6, 0xa4, 0xc8, 0x0c,
+        0xad, 0xcc, 0xbb, 0x7f, 0x0a,
+    ];
+    // draft-29 through draft-32.
+    const SALT_D29: [u8; 20] = [
+        0xaf, 0xbf, 0xec, 0x28, 0x99, 0x93, 0xd2, 0x4c, 0x9e, 0x97, 0x86, 0xf1, 0x9c, 0x61, 0x11,
+        0xe0, 0x43, 0x90, 0xa8, 0x99,
+    ];
+    // draft-23 through draft-28.
+    const SALT_D23: [u8; 20] = [
+        0xc3, 0xee, 0xf7, 0x12, 0xc7, 0x2e, 0xbb, 0x5a, 0x11, 0xa7, 0xd2, 0x43, 0x2b, 0xb4, 0x63,
+        0x65, 0xbe, 0xf9, 0xf5, 0x02,
+    ];
+    match version {
+        Version::V1 | Version::DRAFT_34 => &SALT_V1,
+        v if v.is_ietf() && (0x1d..=0x20).contains(&(v.0 & 0xff)) => &SALT_D29,
+        v if v.is_ietf() && (0x17..=0x1c).contains(&(v.0 & 0xff)) => &SALT_D23,
+        _ => &SALT_V1,
+    }
+}
+
+/// Client and server Initial packet keys for (version, client DCID)
+/// (RFC 9001 §5.2). Initial packets always use AES-128-GCM.
+pub fn initial_keys(version: Version, dcid: &[u8]) -> (PacketKeys, PacketKeys) {
+    let initial_secret = hkdf::extract(initial_salt(version), dcid);
+    let client_secret = hkdf::expand_label(&initial_secret, "client in", &[], 32);
+    let server_secret = hkdf::expand_label(&initial_secret, "server in", &[], 32);
+    (
+        PacketKeys::from_secret(AeadAlgorithm::Aes128Gcm, &client_secret),
+        PacketKeys::from_secret(AeadAlgorithm::Aes128Gcm, &server_secret),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcodec::hex;
+
+    /// RFC 9001 §A.1/A.2: keys derived from the appendix DCID produce the
+    /// appendix header-protection mask on the appendix sample.
+    #[test]
+    fn rfc9001_appendix_a_client_keys() {
+        let dcid = hex::decode("8394c8f03e515708").unwrap();
+        let (client, _server) = initial_keys(Version::V1, &dcid);
+        let sample: [u8; 16] =
+            hex::decode("d1b1c98dd7689fb8ec11d242b123dc9b").unwrap().try_into().unwrap();
+        assert_eq!(hex::encode(&client.hp_mask(&sample)), "437b9aec36");
+    }
+
+    /// RFC 9001 §A.3: the server Initial's mask.
+    #[test]
+    fn rfc9001_appendix_a_server_keys() {
+        let dcid = hex::decode("8394c8f03e515708").unwrap();
+        let (_client, server) = initial_keys(Version::V1, &dcid);
+        let sample: [u8; 16] =
+            hex::decode("2cd0991cd25b0aac406a5816b6394100").unwrap().try_into().unwrap();
+        assert_eq!(hex::encode(&server.hp_mask(&sample)), "2ec0d8356a");
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let (client, _) = initial_keys(Version::DRAFT_29, b"testcid");
+        let aad = b"header bytes";
+        let sealed = client.seal(7, aad, b"payload");
+        assert_eq!(client.open(7, aad, &sealed).unwrap(), b"payload");
+        assert!(client.open(8, aad, &sealed).is_err(), "wrong pn must fail");
+        assert!(client.open(7, b"other aad", &sealed).is_err());
+    }
+
+    #[test]
+    fn draft_salts_differ() {
+        assert_ne!(initial_salt(Version::DRAFT_29), initial_salt(Version::V1));
+        assert_ne!(initial_salt(Version::DRAFT_28), initial_salt(Version::DRAFT_29));
+        assert_eq!(initial_salt(Version::DRAFT_34), initial_salt(Version::V1));
+        assert_eq!(initial_salt(Version::DRAFT_32), initial_salt(Version::DRAFT_29));
+    }
+
+    #[test]
+    fn keys_differ_across_versions() {
+        let dcid = b"same-dcid";
+        let (c1, _) = initial_keys(Version::V1, dcid);
+        let (c29, _) = initial_keys(Version::DRAFT_29, dcid);
+        let sealed_v1 = c1.seal(0, b"", b"x");
+        // Different salt -> different keys -> decryption must fail.
+        assert!(c29.open(0, b"", &sealed_v1).is_err());
+    }
+}

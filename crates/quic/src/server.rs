@@ -1,0 +1,588 @@
+//! QUIC server endpoint: version negotiation, per-connection handshakes, and
+//! the behaviour knobs that reproduce the deployment artifacts the paper
+//! observes (VN-only middleboxes, advertised-vs-accepted version skew,
+//! unpadded-probe handling, implementation-specific close wording).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use qcodec::{Reader, Writer};
+use qtls::server::ServerHandshake;
+use qtls::{Level, TlsError, TlsEvent};
+
+use crate::frame::Frame;
+use crate::keys::{initial_keys, PacketKeys};
+use crate::packet::{
+    decode_first, encode_version_negotiation, seal_long, seal_short, ConnectionId, KeySource,
+    Packet, PacketType,
+};
+use crate::tparams::TransportParameters;
+use crate::version::Version;
+
+/// Application hook: gets stream data, returns stream data to send.
+/// The `internet` crate implements HTTP/3 on top of this.
+pub trait StreamHandler: Send {
+    /// Called once when the handshake completes; lets the server open its
+    /// own streams (e.g. the HTTP/3 control stream).
+    fn on_connected(&mut self) -> Vec<StreamSend> {
+        Vec::new()
+    }
+    /// Called for each chunk of stream data from the client.
+    fn on_stream_data(&mut self, id: u64, data: &[u8], fin: bool) -> Vec<StreamSend>;
+}
+
+/// Stream bytes for the server to send.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamSend {
+    /// Stream id.
+    pub id: u64,
+    /// Payload.
+    pub data: Vec<u8>,
+    /// Close the stream after this data.
+    pub fin: bool,
+}
+
+/// Endpoint-level deployment behaviour.
+pub struct EndpointConfig {
+    /// Versions the handshake path actually accepts.
+    pub accept_versions: Vec<Version>,
+    /// Versions advertised in Version Negotiation packets. The paper's
+    /// Google "version mismatch" artifact is `vn_advertise` ⊋
+    /// `accept_versions` during an iterative roll-out (§5).
+    pub vn_advertise: Vec<Version>,
+    /// Middlebox mode: answer Version Negotiation but never complete a
+    /// handshake (the Akamai/Fastly timeout artifact, §5.1).
+    pub vn_only: bool,
+    /// Answer probes smaller than 1200 bytes with a VN (spec says ignore;
+    /// §3.1 found 11.3% of hosts answering anyway).
+    pub respond_to_unpadded: bool,
+    /// Ignore Initials carrying unsupported versions instead of sending a
+    /// Version Negotiation — the deployments behind the paper's "146k IPv4
+    /// addresses unique to Alt-Svc" finding (§4): reachable by a real
+    /// handshake, invisible to the forced-VN ZMap module.
+    pub no_version_negotiation: bool,
+    /// TLS deployment configuration.
+    pub tls: Arc<qtls::ServerConfig>,
+    /// Server transport parameters (before session-specific fields).
+    pub transport_params: TransportParameters,
+    /// Implementation-specific CONNECTION_CLOSE reason wording — the paper
+    /// fingerprints stacks by these strings.
+    pub close_reason: String,
+    /// Length of connection ids this endpoint issues.
+    pub cid_len: usize,
+    /// Validate client addresses with Retry before accepting Initials
+    /// (RFC 9000 §8.1.2; seen at lsquic-based deployments).
+    pub use_retry: bool,
+}
+
+impl EndpointConfig {
+    /// A well-behaved v1+draft server with the given TLS config.
+    pub fn new(tls: Arc<qtls::ServerConfig>) -> Self {
+        EndpointConfig {
+            accept_versions: vec![
+                Version::V1,
+                Version::DRAFT_34,
+                Version::DRAFT_32,
+                Version::DRAFT_29,
+            ],
+            vn_advertise: vec![
+                Version::V1,
+                Version::DRAFT_34,
+                Version::DRAFT_32,
+                Version::DRAFT_29,
+            ],
+            vn_only: false,
+            respond_to_unpadded: false,
+            no_version_negotiation: false,
+            tls,
+            transport_params: TransportParameters::server_defaults(),
+            close_reason: "handshake failed".to_string(),
+            cid_len: 8,
+            use_retry: false,
+        }
+    }
+}
+
+struct OpenKeys {
+    initial: Option<PacketKeys>,
+    handshake: Option<PacketKeys>,
+    app: Option<PacketKeys>,
+}
+
+impl KeySource for OpenKeys {
+    fn keys_for(&self, ty: PacketType) -> Option<&PacketKeys> {
+        match ty {
+            PacketType::Initial => self.initial.as_ref(),
+            PacketType::Handshake => self.handshake.as_ref(),
+            PacketType::OneRtt => self.app.as_ref(),
+            _ => None,
+        }
+    }
+}
+
+struct ServerConn {
+    version: Version,
+    scid: ConnectionId,
+    client_cid: ConnectionId,
+    tls: ServerHandshake,
+    open_keys: OpenKeys,
+    seal_initial: Option<PacketKeys>,
+    seal_handshake: Option<PacketKeys>,
+    seal_app: Option<PacketKeys>,
+    next_pn: [u64; 3],
+    largest_recv: [Option<u64>; 3],
+    established: bool,
+    closed: bool,
+    handler: Box<dyn StreamHandler>,
+}
+
+/// A QUIC server endpoint multiplexing connections by client source.
+pub struct Endpoint {
+    config: EndpointConfig,
+    handler_factory: Box<dyn Fn() -> Box<dyn StreamHandler> + Send>,
+    conns: HashMap<u128, ServerConn>,
+    insert_order: Vec<u128>,
+    rng: StdRng,
+}
+
+/// Cap on simultaneously tracked connections per endpoint (scan flows are
+/// short-lived; old entries are evicted FIFO).
+const MAX_CONNS: usize = 64;
+
+impl Endpoint {
+    /// Creates an endpoint; `handler_factory` makes one [`StreamHandler`]
+    /// per accepted connection.
+    pub fn new(
+        config: EndpointConfig,
+        seed: u64,
+        handler_factory: Box<dyn Fn() -> Box<dyn StreamHandler> + Send>,
+    ) -> Self {
+        Endpoint {
+            config,
+            handler_factory,
+            conns: HashMap::new(),
+            insert_order: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Processes one datagram from the flow identified by `from` (an opaque
+    /// source key, e.g. hashed source address+port) and returns response
+    /// datagrams.
+    pub fn handle_datagram(&mut self, from: u128, datagram: &[u8]) -> Vec<Vec<u8>> {
+        let Some(head) = parse_long_header_prefix(datagram) else {
+            // Short header or garbage: route to an existing connection.
+            if let Some(conn) = self.conns.get_mut(&from) {
+                return conn.on_datagram(datagram, &self.config);
+            }
+            return Vec::new();
+        };
+
+        // Version negotiation decision happens before any decryption.
+        if !self.config.accept_versions.contains(&head.version) {
+            if self.config.no_version_negotiation {
+                return Vec::new();
+            }
+            if datagram.len() < 1200 && !self.config.respond_to_unpadded {
+                return Vec::new();
+            }
+            let vn = encode_version_negotiation(
+                &head.scid, // their SCID becomes our DCID
+                &head.dcid,
+                &self.config.vn_advertise,
+            );
+            return vec![vn];
+        }
+
+        if self.config.vn_only {
+            // Nominally supported version, but the middlebox cannot proceed:
+            // silence — the scanner will classify this as a timeout.
+            return Vec::new();
+        }
+
+        // Address validation via Retry: a token-less Initial gets a Retry
+        // carrying a token bound to the flow; the client repeats its Initial
+        // with the token and a new DCID (our Retry SCID).
+        if self.config.use_retry && !self.conns.contains_key(&from) {
+            let token = retry_token(from, self.config.cid_len as u64);
+            if !initial_has_token(datagram, &token) {
+                let mut new_scid = vec![0u8; self.config.cid_len];
+                self.rng.fill_bytes(&mut new_scid);
+                let retry = crate::retry::encode_retry(
+                    head.version,
+                    &head.scid,
+                    &ConnectionId(new_scid),
+                    &head.dcid,
+                    &token,
+                );
+                return vec![retry];
+            }
+        }
+
+        if !self.conns.contains_key(&from) {
+            if self.conns.len() >= MAX_CONNS {
+                if let Some(oldest) = self.insert_order.first().copied() {
+                    self.conns.remove(&oldest);
+                    self.insert_order.remove(0);
+                }
+            }
+            let conn = ServerConn::new(
+                head.version,
+                &mut self.rng,
+                self.config.cid_len,
+                (self.handler_factory)(),
+            );
+            self.conns.insert(from, conn);
+            self.insert_order.push(from);
+        }
+        let conn = self.conns.get_mut(&from).expect("just inserted");
+        conn.on_datagram(datagram, &self.config)
+    }
+}
+
+/// Deterministic per-flow retry token (HMAC over the flow key).
+fn retry_token(from: u128, salt: u64) -> Vec<u8> {
+    let mut material = from.to_be_bytes().to_vec();
+    material.extend_from_slice(&salt.to_be_bytes());
+    qcrypto::sha256::digest(&material)[..12].to_vec()
+}
+
+/// Checks whether the first Initial in `datagram` carries `expected` as its
+/// token (header-only parse; no decryption needed).
+fn initial_has_token(datagram: &[u8], expected: &[u8]) -> bool {
+    let mut r = Reader::new(datagram);
+    let Ok(first) = r.read_u8() else { return false };
+    if (first >> 4) & 0x03 != 0 {
+        return false; // not an Initial (type bits must be 00)
+    }
+    if r.read_u32().is_err() {
+        return false;
+    }
+    let Ok(_dcid) = r.read_vec8() else { return false };
+    let Ok(_scid) = r.read_vec8() else { return false };
+    let Ok(token_len) = r.read_varint() else { return false };
+    let Ok(token) = r.read_bytes(token_len as usize) else { return false };
+    token == expected
+}
+
+struct LongHeaderPrefix {
+    version: Version,
+    dcid: ConnectionId,
+    scid: ConnectionId,
+}
+
+/// Parses version/DCID/SCID from a long header without decrypting. Returns
+/// `None` for short-header packets or garbage.
+fn parse_long_header_prefix(datagram: &[u8]) -> Option<LongHeaderPrefix> {
+    let mut r = Reader::new(datagram);
+    let first = r.read_u8().ok()?;
+    if first & 0x80 == 0 {
+        return None;
+    }
+    let version = Version(r.read_u32().ok()?);
+    let dcid = ConnectionId(r.read_vec8().ok()?.to_vec());
+    let scid = ConnectionId(r.read_vec8().ok()?.to_vec());
+    Some(LongHeaderPrefix { version, dcid, scid })
+}
+
+impl ServerConn {
+    fn new(
+        version: Version,
+        rng: &mut StdRng,
+        cid_len: usize,
+        handler: Box<dyn StreamHandler>,
+    ) -> Self {
+        let mut scid = vec![0u8; cid_len];
+        rng.fill_bytes(&mut scid);
+        ServerConn {
+            version,
+            scid: ConnectionId(scid),
+            client_cid: ConnectionId::empty(),
+            tls: ServerHandshake::new(Arc::new(qtls::ServerConfig::single_cert(placeholder_cert())), rng),
+            open_keys: OpenKeys { initial: None, handshake: None, app: None },
+            seal_initial: None,
+            seal_handshake: None,
+            seal_app: None,
+            next_pn: [0; 3],
+            largest_recv: [None; 3],
+            established: false,
+            closed: false,
+            handler,
+        }
+    }
+
+    fn on_datagram(&mut self, datagram: &[u8], config: &EndpointConfig) -> Vec<Vec<u8>> {
+        if self.closed {
+            return Vec::new();
+        }
+        // First Initial: derive keys from the client's DCID and instantiate
+        // the real TLS engine (the placeholder in `new` avoids an Option).
+        if self.open_keys.initial.is_none() {
+            let Some(head) = parse_long_header_prefix(datagram) else {
+                return Vec::new();
+            };
+            let (client_keys, server_keys) = initial_keys(self.version, head.dcid.as_slice());
+            self.open_keys.initial = Some(client_keys);
+            self.seal_initial = Some(server_keys);
+            self.client_cid = head.scid.clone();
+            let mut seeded = StdRng::seed_from_u64(u64::from_le_bytes(
+                self.scid.0.iter().cycle().take(8).copied().collect::<Vec<_>>().try_into().unwrap(),
+            ));
+            let mut tls_config = (*config.tls).clone();
+            let mut tp = config.transport_params.clone();
+            tp.original_destination_connection_id = Some(head.dcid.0.clone());
+            tp.initial_source_connection_id = Some(self.scid.0.clone());
+            let mut token = [0u8; 16];
+            seeded.fill_bytes(&mut token);
+            tp.stateless_reset_token = Some(token);
+            tls_config.quic_transport_params = Some(tp.encode());
+            self.tls = ServerHandshake::new(Arc::new(tls_config), &mut seeded);
+        }
+
+        let mut out = Vec::new();
+        let mut rest = datagram;
+        while !rest.is_empty() {
+            match decode_first(rest, self.scid.len(), &self.open_keys) {
+                Ok((pkt, consumed)) => {
+                    rest = &rest[consumed..];
+                    self.on_packet(pkt, config, &mut out);
+                    if self.closed {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        out
+    }
+
+    fn on_packet(&mut self, pkt: Packet, config: &EndpointConfig, out: &mut Vec<Vec<u8>>) {
+        let space = match pkt.ty {
+            PacketType::Initial => 0,
+            PacketType::Handshake => 1,
+            PacketType::OneRtt => 2,
+            _ => return,
+        };
+        let largest = self.largest_recv[space].get_or_insert(pkt.packet_number);
+        if pkt.packet_number > *largest {
+            *largest = pkt.packet_number;
+        }
+        let frames = match Frame::decode_all(&pkt.payload) {
+            Ok(f) => f,
+            Err(_) => return,
+        };
+        let level = match space {
+            0 => Level::Initial,
+            1 => Level::Handshake,
+            _ => Level::App,
+        };
+        let mut stream_out: Vec<StreamSend> = Vec::new();
+        for frame in frames {
+            match frame {
+                Frame::Crypto { offset: _, data } => {
+                    // Handshake messages fit in single CRYPTO frames in this
+                    // stack (client CH < 1 KiB), so no reassembly needed.
+                    match self.tls.on_handshake_data(level, &data) {
+                        Ok(events) => self.apply_tls_events(events, config, out),
+                        Err(e) => {
+                            self.send_close(e, config, out);
+                            return;
+                        }
+                    }
+                }
+                Frame::Stream { id, offset: _, fin, data } => {
+                    if self.established {
+                        stream_out.extend(self.handler.on_stream_data(id, &data, fin));
+                    }
+                }
+                Frame::ConnectionClose { .. } => {
+                    self.closed = true;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        if !stream_out.is_empty() {
+            self.send_streams(stream_out, out);
+        }
+    }
+
+    fn apply_tls_events(
+        &mut self,
+        events: Vec<TlsEvent>,
+        _config: &EndpointConfig,
+        out: &mut Vec<Vec<u8>>,
+    ) {
+        let mut initial_crypto: Option<Vec<u8>> = None;
+        let mut handshake_crypto: Option<Vec<u8>> = None;
+        let mut completed = false;
+        let mut alg = qcrypto::aead::AeadAlgorithm::Aes128Gcm;
+        if let Some(c) = self.tls.negotiated_cipher() {
+            alg = c.aead();
+        }
+        for ev in events {
+            match ev {
+                TlsEvent::SendHandshake(Level::Initial, bytes) => initial_crypto = Some(bytes),
+                TlsEvent::SendHandshake(Level::Handshake, bytes) => handshake_crypto = Some(bytes),
+                TlsEvent::SendHandshake(Level::App, _) => {}
+                TlsEvent::HandshakeKeys(hs) => {
+                    self.open_keys.handshake = Some(PacketKeys::from_secret(alg, &hs.client));
+                    self.seal_handshake = Some(PacketKeys::from_secret(alg, &hs.server));
+                }
+                TlsEvent::AppKeys(app) => {
+                    self.open_keys.app = Some(PacketKeys::from_secret(alg, &app.client));
+                    self.seal_app = Some(PacketKeys::from_secret(alg, &app.server));
+                }
+                TlsEvent::Complete => completed = true,
+            }
+        }
+
+        // Server flight: Initial[ACK, CRYPTO(SH)] ++ Handshake[CRYPTO(EE..FIN)].
+        if let Some(sh) = initial_crypto {
+            let mut datagram = Vec::new();
+            let mut payload = Writer::new();
+            let largest = self.largest_recv[0].unwrap_or(0);
+            Frame::Ack { largest, delay: 0, ranges: vec![(0, largest)] }.encode(&mut payload);
+            Frame::Crypto { offset: 0, data: sh }.encode(&mut payload);
+            let keys = self.seal_initial.as_ref().expect("initial seal keys");
+            datagram.extend(seal_long(
+                PacketType::Initial,
+                self.version,
+                &self.client_cid,
+                &self.scid,
+                b"",
+                self.next_pn[0],
+                payload.as_slice(),
+                keys,
+                0,
+            ));
+            self.next_pn[0] += 1;
+
+            if let Some(flight) = handshake_crypto {
+                // Chunk the encrypted flight across ≤1000-byte CRYPTO frames.
+                let keys = self.seal_handshake.as_ref().expect("handshake seal keys");
+                let mut offset = 0u64;
+                for chunk in flight.chunks(1000) {
+                    let mut payload = Writer::new();
+                    Frame::Crypto { offset, data: chunk.to_vec() }.encode(&mut payload);
+                    offset += chunk.len() as u64;
+                    let pkt = seal_long(
+                        PacketType::Handshake,
+                        self.version,
+                        &self.client_cid,
+                        &self.scid,
+                        b"",
+                        self.next_pn[1],
+                        payload.as_slice(),
+                        keys,
+                        0,
+                    );
+                    self.next_pn[1] += 1;
+                    if datagram.len() + pkt.len() <= 1452 {
+                        datagram.extend(pkt);
+                    } else {
+                        out.push(std::mem::take(&mut datagram));
+                        datagram = pkt;
+                    }
+                }
+            }
+            out.push(datagram);
+        }
+
+        if completed && !self.established {
+            self.established = true;
+            // HANDSHAKE_DONE plus any server-initiated streams (H3 control).
+            let mut sends = vec![];
+            sends.extend(self.handler.on_connected());
+            let mut payload = Writer::new();
+            Frame::HandshakeDone.encode(&mut payload);
+            let largest = self.largest_recv[1].unwrap_or(0);
+            let _ = largest;
+            let keys = self.seal_app.as_ref().expect("1-RTT seal keys");
+            for s in &sends {
+                Frame::Stream { id: s.id, offset: 0, fin: s.fin, data: s.data.clone() }
+                    .encode(&mut payload);
+            }
+            let pkt = seal_short(&self.client_cid, self.next_pn[2], payload.as_slice(), keys);
+            self.next_pn[2] += 1;
+            out.push(pkt);
+        }
+    }
+
+    fn send_streams(&mut self, sends: Vec<StreamSend>, out: &mut Vec<Vec<u8>>) {
+        let Some(keys) = self.seal_app.as_ref() else {
+            return;
+        };
+        let mut payload = Writer::new();
+        for s in &sends {
+            Frame::Stream { id: s.id, offset: 0, fin: s.fin, data: s.data.clone() }
+                .encode(&mut payload);
+        }
+        // Split into ≤1400-byte datagrams.
+        let bytes = payload.into_vec();
+        if bytes.len() <= 1400 {
+            let pkt = seal_short(&self.client_cid, self.next_pn[2], &bytes, keys);
+            self.next_pn[2] += 1;
+            out.push(pkt);
+        } else {
+            // Re-frame per stream send to keep frames intact.
+            for s in sends {
+                for (i, chunk) in s.data.chunks(1200).enumerate() {
+                    let is_last = (i + 1) * 1200 >= s.data.len();
+                    let mut payload = Writer::new();
+                    Frame::Stream {
+                        id: s.id,
+                        offset: (i * 1200) as u64,
+                        fin: s.fin && is_last,
+                        data: chunk.to_vec(),
+                    }
+                    .encode(&mut payload);
+                    let pkt =
+                        seal_short(&self.client_cid, self.next_pn[2], payload.as_slice(), keys);
+                    self.next_pn[2] += 1;
+                    out.push(pkt);
+                }
+            }
+        }
+    }
+
+    fn send_close(&mut self, err: TlsError, config: &EndpointConfig, out: &mut Vec<Vec<u8>>) {
+        self.closed = true;
+        let code = match err {
+            TlsError::LocalAlert(alert, _) => crate::error::TransportError::crypto(alert.code()),
+            TlsError::PeerAlert(c) => crate::error::TransportError::crypto(c),
+            _ => crate::error::TransportError::PROTOCOL_VIOLATION,
+        };
+        let mut payload = Writer::new();
+        Frame::ConnectionClose {
+            error_code: code.0,
+            frame_type: Some(0),
+            reason: config.close_reason.clone(),
+            is_app: false,
+        }
+        .encode(&mut payload);
+        let Some(keys) = self.seal_initial.as_ref() else {
+            return;
+        };
+        let pkt = seal_long(
+            PacketType::Initial,
+            self.version,
+            &self.client_cid,
+            &self.scid,
+            b"",
+            self.next_pn[0],
+            payload.as_slice(),
+            keys,
+            0,
+        );
+        self.next_pn[0] += 1;
+        out.push(pkt);
+    }
+}
+
+fn placeholder_cert() -> qtls::Certificate {
+    qtls::cert::self_signed(0, "placeholder.invalid", 0, [0u8; 32])
+}

@@ -1,0 +1,343 @@
+//! End-to-end QUIC handshakes: ClientConnection vs. server Endpoint, pumped
+//! over an in-memory "wire" — exercising the scan outcomes of Table 3.
+
+use std::sync::Arc;
+
+use quic::conn::{ClientConnection, ConnectionState, HandshakeOutcome};
+use quic::server::{Endpoint, EndpointConfig, StreamHandler, StreamSend};
+use quic::version::Version;
+use quic::ClientConfig;
+
+use qtls::cert::CertificateAuthority;
+use qtls::server::NoSniBehavior;
+use qtls::Alert;
+
+struct Echo;
+impl StreamHandler for Echo {
+    fn on_stream_data(&mut self, id: u64, data: &[u8], fin: bool) -> Vec<StreamSend> {
+        let mut out = data.to_vec();
+        out.reverse();
+        vec![StreamSend { id, data: out, fin }]
+    }
+}
+
+fn test_tls_config(name: &str) -> Arc<qtls::ServerConfig> {
+    let ca = CertificateAuthority::new("Test CA", 1);
+    let cert = ca.issue(1, name, vec![format!("*.{name}")], 0, 99, [9; 32]);
+    Arc::new(qtls::ServerConfig {
+        alpn: vec![b"h3-29".to_vec(), b"h3".to_vec()],
+        ..qtls::ServerConfig::single_cert(cert)
+    })
+}
+
+fn endpoint(tls: Arc<qtls::ServerConfig>) -> Endpoint {
+    Endpoint::new(EndpointConfig::new(tls), 7, Box::new(|| Box::new(Echo)))
+}
+
+fn client_config(sni: Option<&str>) -> ClientConfig {
+    ClientConfig {
+        versions: vec![Version::DRAFT_29, Version::DRAFT_32, Version::DRAFT_34],
+        tls: qtls::ClientConfig {
+            server_name: sni.map(str::to_string),
+            alpn: vec![b"h3-29".to_vec()],
+            ..qtls::ClientConfig::default()
+        },
+        ..ClientConfig::default()
+    }
+}
+
+/// Pumps datagrams until quiescent; returns rounds executed.
+fn pump(client: &mut ClientConnection, server: &mut Endpoint) -> usize {
+    let mut rounds = 0;
+    for _ in 0..12 {
+        let out = client.poll_transmit();
+        if out.is_empty() {
+            break;
+        }
+        rounds += 1;
+        for datagram in out {
+            for reply in server.handle_datagram(0xbeef, &datagram) {
+                client.on_datagram(&reply);
+            }
+        }
+    }
+    rounds
+}
+
+#[test]
+fn handshake_establishes_and_reports_properties() {
+    let mut server = endpoint(test_tls_config("example.com"));
+    let mut client = ClientConnection::new(client_config(Some("www.example.com")), 1);
+    pump(&mut client, &mut server);
+    assert_eq!(client.state(), &ConnectionState::Established);
+    assert_eq!(client.outcome(), Some(&HandshakeOutcome::Established));
+    assert!(client.handshake_done());
+
+    let info = client.tls_info().expect("tls info");
+    assert_eq!(info.certificates[0].subject, "example.com");
+    assert_eq!(info.alpn.as_deref(), Some(b"h3-29".as_slice()));
+
+    let tp = client.peer_transport_params().expect("transport params");
+    assert_eq!(tp.initial_max_data, 1_048_576);
+    assert!(tp.stateless_reset_token.is_some());
+    assert!(tp.original_destination_connection_id.is_some());
+}
+
+#[test]
+fn stream_data_roundtrip() {
+    let mut server = endpoint(test_tls_config("example.com"));
+    let mut client = ClientConnection::new(client_config(Some("example.com")), 2);
+    pump(&mut client, &mut server);
+    assert_eq!(client.state(), &ConnectionState::Established);
+
+    let id = client.open_bidi_stream();
+    assert_eq!(id, 0);
+    client.send_stream(id, b"hello", true);
+    pump(&mut client, &mut server);
+    let streams = client.poll_streams();
+    assert_eq!(streams.len(), 1);
+    assert_eq!(streams[0].data, b"olleh");
+    assert!(streams[0].fin);
+}
+
+#[test]
+fn sni_required_yields_crypto_error_0x128() {
+    let ca = CertificateAuthority::new("Test CA", 1);
+    let cert = ca.issue(1, "cf.example", vec![], 0, 99, [9; 32]);
+    let tls = Arc::new(qtls::ServerConfig {
+        no_sni: NoSniBehavior::Reject(Alert::HandshakeFailure),
+        alpn: vec![b"h3-29".to_vec()],
+        ..qtls::ServerConfig::single_cert(cert)
+    });
+    let mut config = EndpointConfig::new(tls);
+    config.close_reason = "tls handshake failure".into();
+    let mut server = Endpoint::new(config, 7, Box::new(|| Box::new(Echo)));
+    let mut client = ClientConnection::new(client_config(None), 3);
+    pump(&mut client, &mut server);
+    match client.outcome() {
+        Some(HandshakeOutcome::TransportClose { code, reason }) => {
+            assert_eq!(code.0, 0x128);
+            assert_eq!(reason, "tls handshake failure");
+        }
+        other => panic!("expected 0x128 close, got {other:?}"),
+    }
+}
+
+#[test]
+fn version_negotiation_restart_succeeds() {
+    // Server only accepts v1; client offers draft-29 first, v1 second.
+    let mut config = EndpointConfig::new(test_tls_config("example.com"));
+    config.accept_versions = vec![Version::V1];
+    config.vn_advertise = vec![Version::V1];
+    let mut server = Endpoint::new(config, 7, Box::new(|| Box::new(Echo)));
+    let mut cc = client_config(Some("example.com"));
+    cc.versions = vec![Version::DRAFT_29, Version::V1];
+    let mut client = ClientConnection::new(cc, 4);
+    pump(&mut client, &mut server);
+    assert_eq!(client.state(), &ConnectionState::Established);
+    assert_eq!(client.version(), Version::V1);
+}
+
+#[test]
+fn version_mismatch_when_no_common_version() {
+    let mut config = EndpointConfig::new(test_tls_config("example.com"));
+    config.accept_versions = vec![Version::Q050];
+    config.vn_advertise = vec![Version::Q050, Version::Q046, Version::Q043];
+    let mut server = Endpoint::new(config, 7, Box::new(|| Box::new(Echo)));
+    let mut client = ClientConnection::new(client_config(Some("g.example")), 5);
+    pump(&mut client, &mut server);
+    match client.outcome() {
+        Some(HandshakeOutcome::VersionMismatch { server_versions, .. }) => {
+            assert!(server_versions.contains(&Version::Q050));
+        }
+        other => panic!("expected version mismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn google_rollout_artifact_vn_lists_offered_version() {
+    // The VN advertises draft-29 while the handshake path rejects it — the
+    // inconsistent roll-out the paper debugged with Google (§5).
+    let mut config = EndpointConfig::new(test_tls_config("google.example"));
+    config.accept_versions = vec![Version::Q050, Version::T051];
+    config.vn_advertise =
+        vec![Version::DRAFT_29, Version::T051, Version::Q050, Version::Q046, Version::Q043];
+    let mut server = Endpoint::new(config, 7, Box::new(|| Box::new(Echo)));
+    let mut client = ClientConnection::new(client_config(Some("g.example")), 6);
+    pump(&mut client, &mut server);
+    assert!(
+        matches!(client.outcome(), Some(HandshakeOutcome::VersionMismatch { .. })),
+        "got {:?}",
+        client.outcome()
+    );
+}
+
+#[test]
+fn vn_only_middlebox_goes_silent() {
+    let mut config = EndpointConfig::new(test_tls_config("akamai.example"));
+    config.vn_only = true;
+    let mut server = Endpoint::new(config, 7, Box::new(|| Box::new(Echo)));
+    let mut client = ClientConnection::new(client_config(Some("a.example")), 7);
+    pump(&mut client, &mut server);
+    // No terminal outcome: the scan driver will classify this as a timeout.
+    assert_eq!(client.state(), &ConnectionState::Handshaking);
+    assert_eq!(client.outcome(), None);
+}
+
+#[test]
+fn forced_version_negotiation_probe() {
+    // A reserved-version Initial (the ZMap probe) elicits a VN listing the
+    // advertised versions.
+    let mut config = EndpointConfig::new(test_tls_config("example.com"));
+    config.vn_advertise = vec![Version::DRAFT_29, Version::DRAFT_28, Version::DRAFT_27];
+    let mut server = Endpoint::new(config, 7, Box::new(|| Box::new(Echo)));
+    let mut cc = client_config(None);
+    cc.versions = vec![Version::FORCE_NEGOTIATION];
+    cc.max_vn_retries = 0;
+    let mut client = ClientConnection::new(cc, 8);
+    pump(&mut client, &mut server);
+    match client.outcome() {
+        Some(HandshakeOutcome::VersionMismatch { server_versions, .. }) => {
+            assert_eq!(
+                server_versions,
+                &[Version::DRAFT_29, Version::DRAFT_28, Version::DRAFT_27]
+            );
+        }
+        other => panic!("expected VN list, got {other:?}"),
+    }
+}
+
+#[test]
+fn unpadded_probe_ignored_by_default() {
+    let mut config = EndpointConfig::new(test_tls_config("example.com"));
+    config.vn_advertise = vec![Version::DRAFT_29];
+    let mut server = Endpoint::new(config, 7, Box::new(|| Box::new(Echo)));
+    // Hand-roll a tiny unpadded reserved-version Initial-like probe.
+    let probe = {
+        let mut v = vec![0xc0u8];
+        v.extend_from_slice(&Version::FORCE_NEGOTIATION.0.to_be_bytes());
+        v.push(4);
+        v.extend_from_slice(b"dcid");
+        v.push(4);
+        v.extend_from_slice(b"scid");
+        v
+    };
+    assert!(server.handle_datagram(1, &probe).is_empty());
+
+    let mut config = EndpointConfig::new(test_tls_config("example.com"));
+    config.vn_advertise = vec![Version::DRAFT_29];
+    config.respond_to_unpadded = true;
+    let mut lenient = Endpoint::new(config, 7, Box::new(|| Box::new(Echo)));
+    let replies = lenient.handle_datagram(1, &probe);
+    assert_eq!(replies.len(), 1, "lenient host answers unpadded probes");
+}
+
+#[test]
+fn retry_address_validation_roundtrip() {
+    // An lsquic-style deployment validating client addresses via Retry:
+    // the client must restart its Initial with the token and the new DCID.
+    let mut config = EndpointConfig::new(test_tls_config("retry.example"));
+    config.use_retry = true;
+    let mut server = Endpoint::new(config, 7, Box::new(|| Box::new(Echo)));
+    let mut client = ClientConnection::new(client_config(Some("retry.example")), 21);
+    let rounds = pump(&mut client, &mut server);
+    assert_eq!(client.state(), &ConnectionState::Established, "after {rounds} rounds");
+    assert_eq!(client.outcome(), Some(&HandshakeOutcome::Established));
+    assert!(client.handshake_done());
+}
+
+#[test]
+fn forged_retry_is_ignored() {
+    // A Retry with a bad integrity tag must be dropped and the handshake
+    // with the legitimate server must still complete.
+    let mut server = endpoint(test_tls_config("example.com"));
+    let mut client = ClientConnection::new(client_config(Some("example.com")), 22);
+    let first_flight = client.poll_transmit();
+    // Attacker injects a forged Retry before the server answers.
+    let forged = quic::retry::encode_retry(
+        client.version(),
+        &quic::packet::ConnectionId::new(b"whatever"),
+        &quic::packet::ConnectionId::new(b"attacker"),
+        &quic::packet::ConnectionId::new(b"wrong-odcid"),
+        b"evil-token",
+    );
+    client.on_datagram(&forged);
+    for datagram in first_flight {
+        for reply in server.handle_datagram(0xbeef, &datagram) {
+            client.on_datagram(&reply);
+        }
+    }
+    pump(&mut client, &mut server);
+    assert_eq!(client.state(), &ConnectionState::Established);
+}
+
+#[test]
+fn vn_after_established_is_ignored() {
+    let mut server = endpoint(test_tls_config("example.com"));
+    let mut client = ClientConnection::new(client_config(Some("example.com")), 30);
+    pump(&mut client, &mut server);
+    assert_eq!(client.state(), &ConnectionState::Established);
+    // A late (spoofed) Version Negotiation must not disturb the connection.
+    let vn = quic::packet::encode_version_negotiation(
+        &quic::packet::ConnectionId::new(b"x"),
+        &quic::packet::ConnectionId::new(b"y"),
+        &[Version::Q043],
+    );
+    client.on_datagram(&vn);
+    assert_eq!(client.state(), &ConnectionState::Established);
+    assert_eq!(client.outcome(), Some(&HandshakeOutcome::Established));
+}
+
+#[test]
+fn multiple_streams_multiplex() {
+    let mut server = endpoint(test_tls_config("example.com"));
+    let mut client = ClientConnection::new(client_config(Some("example.com")), 31);
+    pump(&mut client, &mut server);
+    let a = client.open_bidi_stream();
+    let b = client.open_bidi_stream();
+    let u = client.open_uni_stream();
+    assert_eq!((a, b, u), (0, 4, 2));
+    client.send_stream(a, b"first", true);
+    client.send_stream(b, b"second", true);
+    pump(&mut client, &mut server);
+    let streams = client.poll_streams();
+    assert_eq!(streams.len(), 2);
+    assert_eq!(streams[0].id, a);
+    assert_eq!(streams[0].data, b"tsrif");
+    assert_eq!(streams[1].data, b"dnoces");
+}
+
+#[test]
+fn garbage_responses_do_not_wedge_the_client() {
+    let mut client = ClientConnection::new(client_config(Some("example.com")), 32);
+    let _ = client.poll_transmit();
+    client.on_datagram(&[0x00]);
+    client.on_datagram(&[0xc0, 0xff, 0xee]);
+    client.on_datagram(&[0x40; 64]);
+    // Still pending, no spurious terminal outcome.
+    assert_eq!(client.state(), &ConnectionState::Handshaking);
+    assert_eq!(client.outcome(), None);
+}
+
+#[test]
+fn close_reason_wording_is_surfaced() {
+    // The paper fingerprints implementations by CONNECTION_CLOSE wording;
+    // the client must surface the exact string.
+    let ca = CertificateAuthority::new("Test CA", 1);
+    let cert = ca.issue(1, "x.example", vec![], 0, 99, [9; 32]);
+    let tls = Arc::new(qtls::ServerConfig {
+        no_sni: NoSniBehavior::Reject(Alert::HandshakeFailure),
+        ..qtls::ServerConfig::single_cert(cert)
+    });
+    let mut config = EndpointConfig::new(tls);
+    config.close_reason = "fizz::FizzException: handshake failure".into();
+    let mut server = Endpoint::new(config, 7, Box::new(|| Box::new(Echo)));
+    let mut client = ClientConnection::new(client_config(None), 33);
+    pump(&mut client, &mut server);
+    match client.outcome() {
+        Some(HandshakeOutcome::TransportClose { reason, .. }) => {
+            assert_eq!(reason, "fizz::FizzException: handshake failure");
+        }
+        other => panic!("{other:?}"),
+    }
+}

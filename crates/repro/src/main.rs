@@ -1,0 +1,427 @@
+//! `repro`: regenerates every table and figure of the paper's evaluation
+//! from a fresh measurement campaign against the synthetic Internet.
+//!
+//! Usage:
+//!   repro [--fast|--factor F] [--out DIR] [--only tableN|figN|extras] [--workers N]
+//!
+//! `--fast` runs at 10% population scale. Without `--only`, everything is
+//! produced. CSV exports land in `--out` (default `results/`).
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use analysis::campaign::{Campaign, StatefulSnapshot, WeeklySnapshot};
+use analysis::{export, figures, render, tables};
+
+struct Args {
+    factor: f64,
+    out: PathBuf,
+    only: Option<String>,
+    workers: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { factor: 1.0, out: PathBuf::from("results"), only: None, workers: 8 };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fast" => args.factor = 0.1,
+            "--factor" => {
+                args.factor =
+                    it.next().and_then(|v| v.parse().ok()).expect("--factor needs a float");
+            }
+            "--out" => args.out = PathBuf::from(it.next().expect("--out needs a path")),
+            "--only" => args.only = Some(it.next().expect("--only needs a name")),
+            "--workers" => {
+                args.workers =
+                    it.next().and_then(|v| v.parse().ok()).expect("--workers needs an integer");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn wants(args: &Args, name: &str) -> bool {
+    args.only.as_deref().map(|o| o == name).unwrap_or(true)
+}
+
+fn main() {
+    let args = parse_args();
+    std::fs::create_dir_all(&args.out).expect("create output directory");
+    let campaign = Campaign { size_factor: args.factor, seed: 0x9000, workers: args.workers };
+
+    eprintln!("[repro] size factor {} — running stateful campaign (week 18)…", args.factor);
+    let snap = campaign.run_stateful();
+    eprintln!(
+        "[repro] stateful done: {} ZMap v4 hits, {} SNI targets",
+        snap.zmap_v4.len(),
+        snap.quic_sni.len()
+    );
+
+    let needs_weekly =
+        ["fig3", "fig5", "fig6", "fig7"].iter().any(|f| wants(&args, f));
+    let weeklies: Vec<WeeklySnapshot> = if needs_weekly {
+        let weeks = [5u32, 7, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18];
+        weeks
+            .iter()
+            .map(|&w| {
+                eprintln!("[repro] weekly scans for calendar week {w}…");
+                campaign.run_weekly(w)
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    if wants(&args, "table1") {
+        print_table1(&args, &snap);
+    }
+    if wants(&args, "table2") {
+        print_table2(&args, &snap);
+    }
+    if wants(&args, "table3") {
+        println!("{}", tables::render_table3(&tables::table3(&snap)));
+    }
+    if wants(&args, "table4") {
+        print_table4(&snap);
+    }
+    if wants(&args, "table5") {
+        print_table5(&snap);
+    }
+    if wants(&args, "table6") {
+        print_table6(&snap);
+    }
+    if wants(&args, "table7") {
+        print_table7(&snap);
+    }
+    if wants(&args, "extras") {
+        println!("{}", tables::render_padding(&snap));
+        print_overlap(&snap);
+        print_configs_per_as(&snap);
+    }
+    if wants(&args, "fig3") {
+        print_fig3(&args, &weeklies);
+    }
+    if wants(&args, "fig4") {
+        print_cdf(&args, "Figure 4: AS distribution of addresses", "fig4.csv", &figures::fig4(&snap));
+    }
+    if wants(&args, "fig5") {
+        print_fig5(&args, &weeklies);
+    }
+    if wants(&args, "fig6") {
+        print_fig6(&args, &weeklies);
+    }
+    if wants(&args, "fig7") {
+        print_fig7(&args, &weeklies);
+    }
+    if wants(&args, "fig8") {
+        print_cdf(
+            &args,
+            "Figure 8: AS distribution of successful targets",
+            "fig8.csv",
+            &figures::fig8(&snap),
+        );
+    }
+    if wants(&args, "fig9") {
+        print_fig9(&args, &snap);
+    }
+    eprintln!("[repro] done; CSV exports in {}", args.out.display());
+}
+
+fn print_table1(args: &Args, snap: &StatefulSnapshot) {
+    let rows = tables::table1(snap);
+    let text_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.source.to_string(),
+                r.family.to_string(),
+                r.scanned.to_string(),
+                r.addresses.to_string(),
+                r.ases.to_string(),
+                r.domains.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render::table(
+            "Table 1: Found QUIC targets",
+            &["Source", "Fam", "Scanned", "Addresses", "ASes", "Domains"],
+            &text_rows,
+        )
+    );
+    let _ = export::write_csv(
+        &args.out.join("table1.csv"),
+        &["source", "family", "scanned", "addresses", "ases", "domains"],
+        &text_rows,
+    );
+}
+
+fn print_table2(args: &Args, snap: &StatefulSnapshot) {
+    let rows = tables::table2(snap, 5);
+    let text_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.source.to_string(),
+                r.family.to_string(),
+                r.rank.to_string(),
+                r.provider.clone(),
+                r.addresses.to_string(),
+                r.domains.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render::table(
+            "Table 2: Top 5 providers hosting QUIC services",
+            &["Source", "Fam", "Rank", "Provider", "#Addr", "#Domains"],
+            &text_rows,
+        )
+    );
+    let _ = export::write_csv(
+        &args.out.join("table2.csv"),
+        &["source", "family", "rank", "provider", "addresses", "domains"],
+        &text_rows,
+    );
+}
+
+fn print_table4(snap: &StatefulSnapshot) {
+    let rows = tables::table4(snap);
+    let text_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.source.to_string(),
+                r.v4_targets.to_string(),
+                format!("{:.1}%", r.v4_success),
+                r.v6_targets.to_string(),
+                format!("{:.1}%", r.v6_success),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render::table(
+            "Table 4: Individual success rate per input",
+            &["Source", "IPv4 Targets", "Success", "IPv6 Targets", "Success"],
+            &text_rows,
+        )
+    );
+}
+
+fn print_table5(snap: &StatefulSnapshot) {
+    let t = tables::table5(snap);
+    let mut rows: Vec<Vec<String>> = t
+        .rows
+        .iter()
+        .map(|(label, shares)| {
+            vec![
+                label.to_string(),
+                format!("{:.1}", shares[0]),
+                format!("{:.1}", shares[1]),
+                format!("{:.1}", shares[2]),
+                format!("{:.1}", shares[3]),
+            ]
+        })
+        .collect();
+    rows.push(vec![
+        "Compared targets".into(),
+        t.compared[0].to_string(),
+        t.compared[1].to_string(),
+        t.compared[2].to_string(),
+        t.compared[3].to_string(),
+    ]);
+    println!(
+        "{}",
+        render::table(
+            "Table 5: Same TLS properties on TCP and QUIC (%)",
+            &["Property", "IPv4 noSNI", "IPv4 SNI", "IPv6 noSNI", "IPv6 SNI"],
+            &rows,
+        )
+    );
+}
+
+fn print_table6(snap: &StatefulSnapshot) {
+    let rows = tables::table6(snap, 5);
+    let text_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.server.clone(),
+                r.ases.to_string(),
+                r.targets.to_string(),
+                r.parameters.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render::table(
+            "Table 6: Top 5 HTTP Server values",
+            &["Server Value", "#ASes", "#Targets", "#Parameters"],
+            &text_rows,
+        )
+    );
+}
+
+fn print_table7(snap: &StatefulSnapshot) {
+    let rows: Vec<Vec<String>> = tables::table7(snap)
+        .into_iter()
+        .map(|(asn, name)| vec![format!("AS{asn}"), name])
+        .collect();
+    println!("{}", render::table("Table 7: Important ASes", &["AS", "Name"], &rows));
+}
+
+fn print_overlap(snap: &StatefulSnapshot) {
+    for (v4, fam) in [(true, "IPv4"), (false, "IPv6")] {
+        let o = tables::overlap(snap, v4);
+        println!(
+            "== Source overlap ({fam}) ==\nshared by all sources: {}\nZMap only: {}\nALT-SVC only: {}\nHTTPS only: {}\n",
+            o.all_three, o.zmap_only, o.alt_only, o.https_only
+        );
+    }
+}
+
+fn print_configs_per_as(snap: &StatefulSnapshot) {
+    let hist: BTreeMap<usize, usize> = figures::configs_per_as(snap).into_iter().collect();
+    let total: usize = hist.values().sum();
+    println!("== Transport-parameter configurations per AS ==");
+    for (n, ases) in hist {
+        println!("{n} config(s): {ases} ASes ({})", render::pct(ases, total));
+    }
+    println!();
+}
+
+fn print_fig3(args: &Args, weeklies: &[WeeklySnapshot]) {
+    let points = figures::fig3(weeklies);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.week.to_string(),
+                p.list.to_string(),
+                format!("{:.2}", p.success_rate),
+                p.domains.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render::table(
+            "Figure 3: HTTPS DNS RR success rate per list",
+            &["Week", "List", "Success %", "#Domains"],
+            &rows,
+        )
+    );
+    let _ = export::write_csv(
+        &args.out.join("fig3.csv"),
+        &["week", "list", "success_pct", "domains"],
+        &rows,
+    );
+}
+
+fn print_cdf(args: &Args, title: &str, file: &str, series: &[figures::CdfSeries]) {
+    let sample_ranks = [1usize, 2, 3, 4, 5, 10, 20, 50, 100, 200, 500];
+    let mut rows = Vec::new();
+    for s in series {
+        for &r in &sample_ranks {
+            let share = analysis::cdf::share_at_rank(&s.points, r);
+            if share > 0.0 {
+                rows.push(vec![s.label.clone(), r.to_string(), format!("{share:.3}")]);
+            }
+        }
+    }
+    println!("{}", render::table(title, &["Series", "AS rank", "CDF"], &rows));
+    let mut csv_rows = Vec::new();
+    for s in series {
+        for (rank, share) in &s.points {
+            csv_rows.push(vec![s.label.clone(), rank.to_string(), format!("{share:.6}")]);
+        }
+    }
+    let _ = export::write_csv(&args.out.join(file), &["series", "rank", "cdf"], &csv_rows);
+}
+
+fn print_fig5(args: &Args, weeklies: &[WeeklySnapshot]) {
+    let points = figures::fig5(weeklies);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![p.week.to_string(), p.set.clone(), format!("{:.1}", p.share), p.count.to_string()]
+        })
+        .collect();
+    println!(
+        "{}",
+        render::table(
+            "Figure 5: Supported QUIC version sets (ZMap IPv4)",
+            &["Week", "Version set", "Share %", "#Addresses"],
+            &rows,
+        )
+    );
+    let _ =
+        export::write_csv(&args.out.join("fig5.csv"), &["week", "set", "share_pct", "count"], &rows);
+}
+
+fn print_fig6(args: &Args, weeklies: &[WeeklySnapshot]) {
+    let points = figures::fig6(weeklies);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| vec![p.week.to_string(), p.version.clone(), format!("{:.1}", p.share)])
+        .collect();
+    println!(
+        "{}",
+        render::table(
+            "Figure 6: Individual version support (ZMap IPv4)",
+            &["Week", "Version", "Share %"],
+            &rows,
+        )
+    );
+    let _ = export::write_csv(&args.out.join("fig6.csv"), &["week", "version", "share_pct"], &rows);
+}
+
+fn print_fig7(args: &Args, weeklies: &[WeeklySnapshot]) {
+    let points = figures::fig7(weeklies);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![p.week.to_string(), p.set.clone(), format!("{:.1}", p.share), p.pairs.to_string()]
+        })
+        .collect();
+    println!(
+        "{}",
+        render::table(
+            "Figure 7: QUIC-related ALPN sets from Alt-Svc",
+            &["Week", "ALPN set", "Share %", "#Pairs"],
+            &rows,
+        )
+    );
+    let _ =
+        export::write_csv(&args.out.join("fig7.csv"), &["week", "set", "share_pct", "pairs"], &rows);
+}
+
+fn print_fig9(args: &Args, snap: &StatefulSnapshot) {
+    let rows_data = figures::fig9(snap);
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![r.rank.to_string(), r.targets.to_string(), r.ases.to_string(), r.config.clone()]
+        })
+        .collect();
+    println!(
+        "{}",
+        render::table(
+            "Figure 9: Transport parameter configurations",
+            &["Rank", "#Targets", "#ASes", "Configuration"],
+            &rows,
+        )
+    );
+    println!("distinct configurations: {}\n", rows_data.len());
+    let _ =
+        export::write_csv(&args.out.join("fig9.csv"), &["rank", "targets", "ases", "config"], &rows);
+}

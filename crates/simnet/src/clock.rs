@@ -1,0 +1,117 @@
+//! Virtual time. Nothing in the workspace reads the wall clock; scan drivers
+//! advance a [`SimClock`] explicitly, which keeps runs reproducible.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A point in simulated time, in microseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Adds a duration.
+    pub fn after(self, d: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+
+    /// Duration elapsed since `earlier` (saturating at zero).
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+/// A span of simulated time in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(pub u64);
+
+impl Duration {
+    /// Zero-length span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// From microseconds.
+    pub const fn from_micros(us: u64) -> Duration {
+        Duration(us)
+    }
+
+    /// From milliseconds.
+    pub const fn from_millis(ms: u64) -> Duration {
+        Duration(ms * 1_000)
+    }
+
+    /// From seconds.
+    pub const fn from_secs(s: u64) -> Duration {
+        Duration(s * 1_000_000)
+    }
+
+    /// Microseconds in this span.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds in this span (truncating).
+    pub fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+}
+
+impl core::ops::Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl core::ops::Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0.saturating_mul(rhs))
+    }
+}
+
+/// Sharable monotonically-advancing virtual clock.
+#[derive(Debug, Default)]
+pub struct SimClock {
+    micros: AtomicU64,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        SimClock { micros: AtomicU64::new(0) }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        SimTime(self.micros.load(Ordering::Relaxed))
+    }
+
+    /// Advances the clock by `d` and returns the new time.
+    pub fn advance(&self, d: Duration) -> SimTime {
+        SimTime(self.micros.fetch_add(d.0, Ordering::Relaxed) + d.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO.after(Duration::from_millis(5));
+        assert_eq!(t, SimTime(5_000));
+        assert_eq!(t.since(SimTime(1_000)), Duration(4_000));
+        assert_eq!(SimTime(0).since(t), Duration::ZERO);
+        assert_eq!(Duration::from_secs(1) + Duration::from_millis(1), Duration(1_001_000));
+        assert_eq!(Duration::from_millis(3) * 4, Duration(12_000));
+    }
+
+    #[test]
+    fn clock_advances() {
+        let c = SimClock::new();
+        assert_eq!(c.now(), SimTime::ZERO);
+        assert_eq!(c.advance(Duration::from_micros(7)), SimTime(7));
+        assert_eq!(c.now(), SimTime(7));
+    }
+}

@@ -1,0 +1,22 @@
+//! Deterministic simulated network substrate.
+//!
+//! The paper's tool set scanned the real Internet; here every scanner talks
+//! to a [`Network`] instead — a registry of simulated hosts offering UDP and
+//! TCP services. The design is sans-IO and synchronous (following the
+//! smoltcp guide): a scanner *sends* a datagram and receives the induced
+//! response datagrams in the same call, with packet loss decided by a
+//! deterministic per-packet hash so that results are reproducible even under
+//! multi-threaded scanning.
+//!
+//! Time is virtual: [`clock::SimClock`] is a monotonically advancing counter
+//! that the drivers move forward; nothing reads the wall clock.
+
+pub mod addr;
+pub mod clock;
+pub mod net;
+pub mod stats;
+
+pub use addr::{IpAddr, Prefix, SocketAddr};
+pub use clock::{Duration, SimClock, SimTime};
+pub use net::{Network, ServiceCtx, TcpAction, TcpFactory, TcpHandler, TcpStream, UdpService};
+pub use stats::NetStats;

@@ -1,0 +1,78 @@
+//! Traffic accounting. The paper notes that the padded QUIC probes generate
+//! "at least a magnitude more traffic" than a TCP SYN scan — these counters
+//! let the benches quantify that claim in the simulation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe packet/byte counters for one direction pair.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// Datagrams/segments sent by clients into the network.
+    pub packets_sent: AtomicU64,
+    /// Bytes sent by clients.
+    pub bytes_sent: AtomicU64,
+    /// Datagrams/segments delivered back to clients.
+    pub packets_received: AtomicU64,
+    /// Bytes delivered back to clients.
+    pub bytes_received: AtomicU64,
+    /// Packets dropped by the loss model.
+    pub packets_dropped: AtomicU64,
+}
+
+impl NetStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_send(&self, bytes: usize) {
+        self.packets_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_recv(&self, bytes: usize) {
+        self.packets_received.fetch_add(1, Ordering::Relaxed);
+        self.bytes_received.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_drop(&self) {
+        self.packets_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot as plain integers (sent, bytes_sent, received, bytes_received, dropped).
+    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.packets_sent.load(Ordering::Relaxed),
+            self.bytes_sent.load(Ordering::Relaxed),
+            self.packets_received.load(Ordering::Relaxed),
+            self.bytes_received.load(Ordering::Relaxed),
+            self.packets_dropped.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.packets_sent.store(0, Ordering::Relaxed);
+        self.bytes_sent.store(0, Ordering::Relaxed);
+        self.packets_received.store(0, Ordering::Relaxed);
+        self.bytes_received.store(0, Ordering::Relaxed);
+        self.packets_dropped.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters() {
+        let s = NetStats::new();
+        s.record_send(1200);
+        s.record_send(60);
+        s.record_recv(41);
+        s.record_drop();
+        assert_eq!(s.snapshot(), (2, 1260, 1, 41, 1));
+        s.reset();
+        assert_eq!(s.snapshot(), (0, 0, 0, 0, 0));
+    }
+}

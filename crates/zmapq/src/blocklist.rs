@@ -1,0 +1,52 @@
+//! Scan blocklist (the ethical-exclusion list of Appendix A).
+
+use simnet::addr::Prefix;
+use simnet::IpAddr;
+
+/// A set of prefixes excluded from scanning.
+#[derive(Debug, Clone, Default)]
+pub struct Blocklist {
+    prefixes: Vec<Prefix>,
+}
+
+impl Blocklist {
+    /// Empty blocklist.
+    pub fn new() -> Self {
+        Blocklist::default()
+    }
+
+    /// Adds an excluded prefix.
+    pub fn add(&mut self, prefix: Prefix) {
+        self.prefixes.push(prefix);
+    }
+
+    /// True when `addr` must not be probed.
+    pub fn is_blocked(&self, addr: &IpAddr) -> bool {
+        self.prefixes.iter().any(|p| p.contains(addr))
+    }
+
+    /// Number of excluded prefixes.
+    pub fn len(&self) -> usize {
+        self.prefixes.len()
+    }
+
+    /// True when no prefixes are excluded.
+    pub fn is_empty(&self) -> bool {
+        self.prefixes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::addr::Ipv4Addr;
+
+    #[test]
+    fn blocks_contained_addresses() {
+        let mut b = Blocklist::new();
+        b.add(Prefix::new(Ipv4Addr::new(10, 9, 0, 0), 16));
+        assert!(b.is_blocked(&IpAddr::V4(Ipv4Addr::new(10, 9, 3, 4))));
+        assert!(!b.is_blocked(&IpAddr::V4(Ipv4Addr::new(10, 8, 3, 4))));
+        assert_eq!(b.len(), 1);
+    }
+}

@@ -1,0 +1,252 @@
+//! The scan engine: permuted sweep over prefixes (IPv4) or a target list
+//! (IPv6), with rate limiting and blocklist filtering.
+
+use simnet::addr::{Ipv4Addr, Ipv6Addr, Prefix};
+use simnet::{IpAddr, Network, SocketAddr};
+
+use crate::blocklist::Blocklist;
+use crate::feistel::FeistelPermutation;
+use crate::modules::quic_vn::{QuicVnModule, VnResult};
+use crate::ratelimit::TokenBucket;
+
+/// Engine configuration.
+pub struct ZmapConfig {
+    /// Source address probes originate from (the scanner's vantage point).
+    pub source: SocketAddr,
+    /// Target port.
+    pub port: u16,
+    /// Probe rate in packets per virtual second (paper: up to 15 000).
+    pub rate_pps: u64,
+    /// Permutation seed.
+    pub seed: u64,
+    /// Excluded prefixes.
+    pub blocklist: Blocklist,
+}
+
+impl ZmapConfig {
+    /// Reasonable defaults from a given vantage address.
+    pub fn new(source: SocketAddr) -> Self {
+        ZmapConfig {
+            source,
+            port: 443,
+            rate_pps: 15_000,
+            seed: 0x5eed,
+            blocklist: Blocklist::new(),
+        }
+    }
+}
+
+/// The scanner.
+pub struct ZmapScanner {
+    config: ZmapConfig,
+}
+
+impl ZmapScanner {
+    /// Creates a scanner.
+    pub fn new(config: ZmapConfig) -> Self {
+        ZmapScanner { config }
+    }
+
+    /// Sweeps the address space covered by `prefixes` with the QUIC VN
+    /// module, returning every Version Negotiation response.
+    pub fn scan_v4(
+        &self,
+        net: &Network,
+        prefixes: &[Prefix],
+        module: &QuicVnModule,
+    ) -> Vec<VnResult> {
+        // Build the flattened (prefix, size) ranges.
+        let sizes: Vec<u128> = prefixes.iter().map(|p| p.size()).collect();
+        let total: u128 = sizes.iter().sum();
+        let total = u64::try_from(total).expect("scan space fits in u64");
+        let perm = FeistelPermutation::new(total, self.config.seed);
+        let mut bucket = TokenBucket::new(self.config.rate_pps);
+        let mut results = Vec::new();
+        for i in 0..total {
+            let flat = perm.permute(i);
+            let addr = flat_to_addr(prefixes, &sizes, flat);
+            if self.config.blocklist.is_blocked(&addr) {
+                continue;
+            }
+            bucket.acquire(&net.clock);
+            let dst = SocketAddr::new(addr, self.config.port);
+            if let Some(hit) = module.probe(net, self.config.source, dst, i) {
+                results.push(hit);
+            }
+        }
+        results
+    }
+
+    /// Probes an explicit IPv6 target list (hitlist + AAAA input, §3.1).
+    pub fn scan_v6(
+        &self,
+        net: &Network,
+        targets: &[Ipv6Addr],
+        module: &QuicVnModule,
+    ) -> Vec<VnResult> {
+        let mut bucket = TokenBucket::new(self.config.rate_pps);
+        let mut results = Vec::new();
+        for (i, addr) in targets.iter().enumerate() {
+            let ip = IpAddr::V6(*addr);
+            if self.config.blocklist.is_blocked(&ip) {
+                continue;
+            }
+            bucket.acquire(&net.clock);
+            let dst = SocketAddr::new(ip, self.config.port);
+            if let Some(hit) = module.probe(net, self.config.source, dst, i as u64) {
+                results.push(hit);
+            }
+        }
+        results
+    }
+
+    /// TCP SYN sweep over `prefixes` (port 443 discovery for the TLS scans).
+    pub fn scan_tcp_syn(&self, net: &Network, prefixes: &[Prefix]) -> Vec<IpAddr> {
+        let sizes: Vec<u128> = prefixes.iter().map(|p| p.size()).collect();
+        let total: u128 = sizes.iter().sum();
+        let total = u64::try_from(total).expect("scan space fits in u64");
+        let perm = FeistelPermutation::new(total, self.config.seed ^ 0x7cb);
+        let mut bucket = TokenBucket::new(self.config.rate_pps);
+        let mut open = Vec::new();
+        for i in 0..total {
+            let flat = perm.permute(i);
+            let addr = flat_to_addr(prefixes, &sizes, flat);
+            if self.config.blocklist.is_blocked(&addr) {
+                continue;
+            }
+            bucket.acquire(&net.clock);
+            if crate::modules::tcp_syn::probe(net, SocketAddr::new(addr, self.config.port)) {
+                open.push(addr);
+            }
+        }
+        open
+    }
+}
+
+/// Maps a flat index into the concatenated prefix space to an address.
+fn flat_to_addr(prefixes: &[Prefix], sizes: &[u128], mut flat: u64) -> IpAddr {
+    for (prefix, &size) in prefixes.iter().zip(sizes) {
+        let size64 = u64::try_from(size).expect("prefix fits");
+        if flat < size64 {
+            let base = prefix.base.as_u128() + u128::from(flat);
+            return match prefix.base {
+                IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::from(base as u32)),
+                IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::from(base)),
+            };
+        }
+        flat -= size64;
+    }
+    unreachable!("flat index exceeds scan space");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quic::server::{Endpoint, EndpointConfig, StreamHandler, StreamSend};
+    use quic::version::Version;
+    use simnet::{ServiceCtx, UdpService};
+    use std::sync::Arc;
+
+    struct NoApp;
+    impl StreamHandler for NoApp {
+        fn on_stream_data(&mut self, _: u64, _: &[u8], _: bool) -> Vec<StreamSend> {
+            Vec::new()
+        }
+    }
+
+    struct Udp(Endpoint);
+    impl UdpService for Udp {
+        fn on_datagram(&mut self, ctx: &mut ServiceCtx<'_>, from: SocketAddr, data: &[u8]) {
+            for r in self.0.handle_datagram(from.ip.as_u128(), data) {
+                ctx.reply(r);
+            }
+        }
+    }
+
+    fn quic_host(versions: Vec<Version>) -> Box<dyn UdpService> {
+        let ca = qtls::CertificateAuthority::new("CA", 1);
+        let cert = ca.issue(1, "x.example", vec![], 0, 99, [1; 32]);
+        let tls = Arc::new(qtls::ServerConfig::single_cert(cert));
+        let mut cfg = EndpointConfig::new(tls);
+        cfg.vn_advertise = versions.clone();
+        cfg.accept_versions = versions;
+        Box::new(Udp(Endpoint::new(cfg, 3, Box::new(|| Box::new(NoApp)))))
+    }
+
+    #[test]
+    fn sweep_finds_quic_hosts() {
+        let mut net = Network::new(5);
+        // Three QUIC hosts inside a /24, rest empty.
+        for last in [5u8, 77, 200] {
+            net.bind_udp(
+                SocketAddr::new(Ipv4Addr::new(10, 50, 0, last), 443),
+                quic_host(vec![Version::DRAFT_29, Version::DRAFT_28]),
+            );
+        }
+        let cfg = ZmapConfig::new(SocketAddr::new(Ipv4Addr::new(192, 0, 2, 9), 50000));
+        let scanner = ZmapScanner::new(cfg);
+        let module = QuicVnModule::new(1);
+        let prefixes = [Prefix::new(Ipv4Addr::new(10, 50, 0, 0), 24)];
+        let mut hits = scanner.scan_v4(&net, &prefixes, &module);
+        hits.sort_by_key(|h| h.addr);
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].versions, vec![Version::DRAFT_29, Version::DRAFT_28]);
+    }
+
+    #[test]
+    fn blocklist_is_respected() {
+        let mut net = Network::new(5);
+        net.bind_udp(
+            SocketAddr::new(Ipv4Addr::new(10, 50, 0, 5), 443),
+            quic_host(vec![Version::DRAFT_29]),
+        );
+        let mut cfg = ZmapConfig::new(SocketAddr::new(Ipv4Addr::new(192, 0, 2, 9), 50000));
+        cfg.blocklist.add(Prefix::new(Ipv4Addr::new(10, 50, 0, 0), 28));
+        let scanner = ZmapScanner::new(cfg);
+        let module = QuicVnModule::new(1);
+        let prefixes = [Prefix::new(Ipv4Addr::new(10, 50, 0, 0), 24)];
+        assert!(scanner.scan_v4(&net, &prefixes, &module).is_empty());
+    }
+
+    #[test]
+    fn unpadded_module_misses_strict_hosts() {
+        let mut net = Network::new(5);
+        net.bind_udp(
+            SocketAddr::new(Ipv4Addr::new(10, 50, 0, 5), 443),
+            quic_host(vec![Version::DRAFT_29]),
+        );
+        let cfg = ZmapConfig::new(SocketAddr::new(Ipv4Addr::new(192, 0, 2, 9), 50000));
+        let scanner = ZmapScanner::new(cfg);
+        let prefixes = [Prefix::new(Ipv4Addr::new(10, 50, 0, 0), 24)];
+        let unpadded = QuicVnModule::unpadded(1);
+        assert!(scanner.scan_v4(&net, &prefixes, &unpadded).is_empty());
+    }
+
+    #[test]
+    fn v6_list_scan() {
+        let mut net = Network::new(5);
+        let target = Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 7);
+        net.bind_udp(SocketAddr::new(target, 443), quic_host(vec![Version::V1]));
+        let cfg = ZmapConfig::new(SocketAddr::new(Ipv6Addr::LOCALHOST, 50000));
+        let scanner = ZmapScanner::new(cfg);
+        let module = QuicVnModule::new(1);
+        let miss = Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 8);
+        let hits = scanner.scan_v6(&net, &[target, miss], &module);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].versions, vec![Version::V1]);
+    }
+
+    #[test]
+    fn scan_duration_reflects_rate() {
+        let net = Network::new(5);
+        let mut cfg = ZmapConfig::new(SocketAddr::new(Ipv4Addr::new(192, 0, 2, 9), 50000));
+        cfg.rate_pps = 1000;
+        let scanner = ZmapScanner::new(cfg);
+        let module = QuicVnModule::new(1);
+        let prefixes = [Prefix::new(Ipv4Addr::new(10, 60, 0, 0), 22)]; // 1024 addrs
+        let before = net.clock.now().0;
+        scanner.scan_v4(&net, &prefixes, &module);
+        let secs = (net.clock.now().0 - before) as f64 / 1e6;
+        assert!((0.8..1.6).contains(&secs), "1024 probes at 1k pps took {secs}s");
+    }
+}

@@ -1,0 +1,17 @@
+//! ZMap-style stateless scanning (§3.1): a cyclic address-space permutation
+//! (Feistel network, standing in for ZMap's multiplicative-group iteration),
+//! token-bucket rate limiting, a blocklist, and pluggable probe modules —
+//! the IETF-QUIC Version Negotiation module this paper contributes, plus a
+//! TCP SYN module for the TLS-over-TCP pipeline.
+
+pub mod blocklist;
+pub mod engine;
+pub mod feistel;
+pub mod modules;
+pub mod ratelimit;
+
+pub use blocklist::Blocklist;
+pub use engine::{ZmapConfig, ZmapScanner};
+pub use feistel::FeistelPermutation;
+pub use modules::quic_vn::{QuicVnModule, VnResult};
+pub use ratelimit::TokenBucket;

@@ -1,0 +1,5 @@
+//! Probe modules: each builds a single stateless probe and classifies the
+//! response, mirroring ZMap's module interface.
+
+pub mod quic_vn;
+pub mod tcp_syn;

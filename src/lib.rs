@@ -1,0 +1,13 @@
+//! Facade crate: re-exports the complete "It's Over 9000" reproduction tool set.
+pub use analysis;
+pub use dns;
+pub use goscanner;
+pub use h3;
+pub use internet;
+pub use qcodec;
+pub use qcrypto;
+pub use qscanner;
+pub use qtls;
+pub use quic;
+pub use simnet;
+pub use zmapq;
