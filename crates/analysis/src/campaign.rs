@@ -163,6 +163,7 @@ impl Campaign {
             40_000,
         ));
         cfg.rate_pps = 10_000_000; // virtual pps; pacing is accounted, not waited
+        cfg.workers = self.workers;
         ZmapScanner::new(cfg)
     }
 
@@ -538,6 +539,21 @@ mod tests {
         // Padding ablation: unpadded finds far fewer hosts.
         assert!(snap.padding.unpadded_hits * 2 < snap.padding.padded_hits);
         assert!(snap.padding.unpadded_top_as_share > 0.5);
+    }
+
+    /// Sharded scans are deterministic: the same seed yields identical hit
+    /// sets (same order, same contents) at any worker count.
+    #[test]
+    fn weekly_campaign_is_worker_count_independent() {
+        let mut serial = Campaign::tiny();
+        serial.workers = 1;
+        let mut parallel = Campaign::tiny();
+        parallel.workers = 8;
+        let a = serial.run_weekly(18);
+        let b = parallel.run_weekly(18);
+        assert!(!a.zmap_v4.is_empty());
+        assert_eq!(a.zmap_v4, b.zmap_v4);
+        assert_eq!(a.zmap_v6, b.zmap_v6);
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! Scaling bench for the sharded parallel sweep: the same seeded network is
+//! swept with 1, 4, and 8 worker shards. Results are identical across the
+//! three (the engine guarantees worker-count-independent output); only the
+//! wall-clock time changes, so the ratio between the `workers_*` lines is
+//! the parallel speedup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use quic::server::{Endpoint, EndpointConfig, StreamHandler, StreamSend};
+use quic::version::Version;
+use simnet::addr::{Ipv4Addr, Prefix};
+use simnet::{Network, ServiceCtx, SocketAddr, UdpService};
+use std::sync::Arc;
+use zmapq::modules::quic_vn::QuicVnModule;
+use zmapq::{ZmapConfig, ZmapScanner};
+
+struct NoApp;
+
+impl StreamHandler for NoApp {
+    fn on_stream_data(&mut self, _: u64, _: &[u8], _: bool) -> Vec<StreamSend> {
+        Vec::new()
+    }
+}
+
+struct Udp(Endpoint);
+
+impl UdpService for Udp {
+    fn on_datagram(&mut self, ctx: &mut ServiceCtx<'_>, from: SocketAddr, data: &[u8]) {
+        for r in self.0.handle_datagram(from.ip.as_u128(), data) {
+            ctx.reply(r);
+        }
+    }
+}
+
+fn quic_host() -> Box<dyn UdpService> {
+    let ca = qtls::CertificateAuthority::new("CA", 1);
+    let cert = ca.issue(1, "bench.example", vec![], 0, 99, [1; 32]);
+    let tls = Arc::new(qtls::ServerConfig::single_cert(cert));
+    let mut cfg = EndpointConfig::new(tls);
+    cfg.vn_advertise = vec![Version::DRAFT_29, Version::DRAFT_32];
+    cfg.accept_versions = vec![Version::DRAFT_29, Version::DRAFT_32];
+    Box::new(Udp(Endpoint::new(cfg, 3, Box::new(|| Box::new(NoApp)))))
+}
+
+/// A /16 (65 536 addresses) with a QUIC host on every 64th address.
+fn sweep_network() -> (Network, [Prefix; 1]) {
+    let mut net = Network::new(5);
+    for i in (0u32..65_536).step_by(64) {
+        let addr = Ipv4Addr::from(u32::from(Ipv4Addr::new(10, 64, 0, 0)) + i);
+        net.bind_udp(SocketAddr::new(addr, 443), quic_host());
+    }
+    (net, [Prefix::new(Ipv4Addr::new(10, 64, 0, 0), 16)])
+}
+
+fn scanner(workers: usize) -> ZmapScanner {
+    let mut cfg = ZmapConfig::new(SocketAddr::new(Ipv4Addr::new(192, 0, 2, 9), 50_000));
+    cfg.rate_pps = 10_000_000; // pacing accounted virtually, never waited
+    cfg.workers = workers;
+    ZmapScanner::new(cfg)
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let (net, prefixes) = sweep_network();
+    let module = QuicVnModule::new(0x9000);
+    let expected = scanner(1).scan_v4(&net, &prefixes, &module).len();
+    assert_eq!(expected, 1024);
+
+    let mut g = c.benchmark_group("sweep");
+    g.sample_size(20);
+    for workers in [1usize, 4, 8] {
+        let s = scanner(workers);
+        g.bench_function(format!("workers_{workers}"), |b| {
+            b.iter(|| {
+                let hits = s.scan_v4(&net, &prefixes, &module);
+                assert_eq!(hits.len(), expected);
+                hits.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

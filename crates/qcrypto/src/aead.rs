@@ -141,22 +141,53 @@ pub fn header_protection_mask(
     hp_key: &[u8],
     sample: &[u8; 16],
 ) -> [u8; 5] {
-    let mut mask = [0u8; 5];
-    match algorithm {
-        AeadAlgorithm::Aes128Gcm | AeadAlgorithm::Aes256Gcm => {
-            let aes = Aes::new(hp_key);
-            let block = aes.encrypt(sample);
-            mask.copy_from_slice(&block[..5]);
-        }
-        AeadAlgorithm::ChaCha20Poly1305 => {
-            let counter = u32::from_le_bytes(sample[..4].try_into().unwrap());
-            let nonce: [u8; 12] = sample[4..].try_into().unwrap();
-            let key: [u8; 32] = hp_key.try_into().expect("chacha hp key must be 32 bytes");
-            let block = chacha20::block(&key, counter, &nonce);
-            mask.copy_from_slice(&block[..5]);
+    HeaderProtector::new(algorithm, hp_key).mask(sample)
+}
+
+/// A header-protection context bound to one key.
+///
+/// For AES this caches the expanded round-key schedule: a mask is computed
+/// for every protected packet sent or received, and re-running the AES key
+/// expansion each time costs more than the single block encryption the mask
+/// actually needs.
+#[derive(Clone)]
+pub enum HeaderProtector {
+    /// AES-ECB over the sample, round keys pre-expanded.
+    Aes(Aes),
+    /// ChaCha20 block keyed by the sample's counter/nonce split.
+    ChaCha([u8; 32]),
+}
+
+impl HeaderProtector {
+    /// Builds a protector; `hp_key` must match the algorithm's key length.
+    pub fn new(algorithm: AeadAlgorithm, hp_key: &[u8]) -> Self {
+        match algorithm {
+            AeadAlgorithm::Aes128Gcm | AeadAlgorithm::Aes256Gcm => {
+                HeaderProtector::Aes(Aes::new(hp_key))
+            }
+            AeadAlgorithm::ChaCha20Poly1305 => {
+                HeaderProtector::ChaCha(hp_key.try_into().expect("chacha hp key must be 32 bytes"))
+            }
         }
     }
-    mask
+
+    /// The 5-byte mask for one 16-byte ciphertext sample.
+    pub fn mask(&self, sample: &[u8; 16]) -> [u8; 5] {
+        let mut mask = [0u8; 5];
+        match self {
+            HeaderProtector::Aes(aes) => {
+                let block = aes.encrypt(sample);
+                mask.copy_from_slice(&block[..5]);
+            }
+            HeaderProtector::ChaCha(key) => {
+                let counter = u32::from_le_bytes(sample[..4].try_into().unwrap());
+                let nonce: [u8; 12] = sample[4..].try_into().unwrap();
+                let block = chacha20::block(key, counter, &nonce);
+                mask.copy_from_slice(&block[..5]);
+            }
+        }
+        mask
+    }
 }
 
 #[cfg(test)]

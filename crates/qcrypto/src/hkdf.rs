@@ -9,6 +9,32 @@ pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
     hmac_sha256(salt, ikm)
 }
 
+/// A reusable `HKDF-Extract` context for one fixed salt.
+///
+/// HMAC keying hashes two padded key blocks; for a scanner deriving Initial
+/// secrets for millions of connection IDs under the same handful of
+/// version-specific salts, that per-call setup is pure overhead. The
+/// extractor precomputes the padded-key state once so each [`Extractor::extract`]
+/// call only hashes the input keying material.
+#[derive(Clone)]
+pub struct Extractor {
+    mac: crate::hmac::HmacSha256,
+}
+
+impl Extractor {
+    /// Precomputes the HMAC key schedule for `salt`.
+    pub fn new(salt: &[u8]) -> Self {
+        Extractor { mac: crate::hmac::HmacSha256::new(salt) }
+    }
+
+    /// `HKDF-Extract(salt, ikm)` with the cached salt state.
+    pub fn extract(&self, ikm: &[u8]) -> [u8; DIGEST_LEN] {
+        let mut mac = self.mac.clone();
+        mac.update(ikm);
+        mac.finalize()
+    }
+}
+
 /// `HKDF-Expand(prk, info, len)`. `len` must be ≤ 255 × 32.
 pub fn expand(prk: &[u8], info: &[u8], len: usize) -> Vec<u8> {
     assert!(len <= 255 * DIGEST_LEN, "HKDF output too long");
@@ -34,20 +60,37 @@ pub fn expand(prk: &[u8], info: &[u8], len: usize) -> Vec<u8> {
 /// The label is implicitly prefixed with `"tls13 "` as required by RFC 8446;
 /// QUIC passes labels like `"quic key"` through this same construction.
 pub fn expand_label(secret: &[u8], label: &str, context: &[u8], len: usize) -> Vec<u8> {
-    let mut info = Vec::with_capacity(4 + 6 + label.len() + context.len());
+    expand(secret, &label_info(label, context, len), len)
+}
+
+/// The serialized `HkdfLabel` structure fed to `HKDF-Expand` by
+/// [`expand_label`]. Exposed so hot derivation paths can precompute it for
+/// fixed (label, len) pairs instead of rebuilding it per call.
+pub fn label_info(label: &str, context: &[u8], len: usize) -> Vec<u8> {
+    const PREFIX: &[u8] = b"tls13 ";
+    let mut info = Vec::with_capacity(4 + PREFIX.len() + label.len() + context.len());
     info.extend_from_slice(&(len as u16).to_be_bytes());
-    let full_label = format!("tls13 {label}");
-    info.push(full_label.len() as u8);
-    info.extend_from_slice(full_label.as_bytes());
+    info.push((PREFIX.len() + label.len()) as u8);
+    info.extend_from_slice(PREFIX);
+    info.extend_from_slice(label.as_bytes());
     info.push(context.len() as u8);
     info.extend_from_slice(context);
-    expand(secret, &info, len)
+    info
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use qcodec::hex;
+
+    #[test]
+    fn extractor_matches_oneshot() {
+        let salt = b"some-salt";
+        let ex = Extractor::new(salt);
+        for ikm in [b"a".as_slice(), b"", b"a-longer-input-keying-material"] {
+            assert_eq!(ex.extract(ikm), extract(salt, ikm));
+        }
+    }
 
     /// RFC 5869 Appendix A, test case 1.
     #[test]

@@ -1,6 +1,8 @@
 //! QUIC packet protection keys (RFC 9001 §5).
 
-use qcrypto::aead::{header_protection_mask, Aead, AeadAlgorithm};
+use std::sync::OnceLock;
+
+use qcrypto::aead::{Aead, AeadAlgorithm, HeaderProtector};
 use qcrypto::hkdf;
 
 use crate::version::Version;
@@ -9,7 +11,7 @@ use crate::version::Version;
 pub struct PacketKeys {
     aead: Aead,
     iv: [u8; 12],
-    hp_key: Vec<u8>,
+    hp: HeaderProtector,
     algorithm: AeadAlgorithm,
 }
 
@@ -22,7 +24,29 @@ impl PacketKeys {
         let hp_key = hkdf::expand_label(secret, "quic hp", &[], algorithm.key_len());
         let mut iv = [0u8; 12];
         iv.copy_from_slice(&iv_bytes);
-        PacketKeys { aead: Aead::new(algorithm, &key), iv, hp_key, algorithm }
+        PacketKeys {
+            aead: Aead::new(algorithm, &key),
+            iv,
+            hp: HeaderProtector::new(algorithm, &hp_key),
+            algorithm,
+        }
+    }
+
+    /// [`PacketKeys::from_secret`] for AES-128-GCM with the `HkdfLabel` infos
+    /// precomputed — the Initial-keys fast path.
+    fn from_secret_initial(secret: &[u8], infos: &InitialLabelInfos) -> Self {
+        let algorithm = AeadAlgorithm::Aes128Gcm;
+        let key = hkdf::expand(secret, &infos.quic_key, 16);
+        let iv_bytes = hkdf::expand(secret, &infos.quic_iv, 12);
+        let hp_key = hkdf::expand(secret, &infos.quic_hp, 16);
+        let mut iv = [0u8; 12];
+        iv.copy_from_slice(&iv_bytes);
+        PacketKeys {
+            aead: Aead::new(algorithm, &key),
+            iv,
+            hp: HeaderProtector::new(algorithm, &hp_key),
+            algorithm,
+        }
     }
 
     /// Packet-protection nonce: IV XOR packet number (RFC 9001 §5.3).
@@ -53,7 +77,7 @@ impl PacketKeys {
 
     /// Header-protection mask for a 16-byte ciphertext sample (RFC 9001 §5.4).
     pub fn hp_mask(&self, sample: &[u8; 16]) -> [u8; 5] {
-        header_protection_mask(self.algorithm, &self.hp_key, sample)
+        self.hp.mask(sample)
     }
 
     /// AEAD tag overhead in bytes.
@@ -87,16 +111,86 @@ pub fn initial_salt(version: Version) -> &'static [u8] {
     }
 }
 
+/// Serialized `HkdfLabel` infos for the fixed Initial-derivation labels.
+struct InitialLabelInfos {
+    client_in: Vec<u8>,
+    server_in: Vec<u8>,
+    quic_key: Vec<u8>,
+    quic_iv: Vec<u8>,
+    quic_hp: Vec<u8>,
+}
+
+/// Cached per-version Initial key derivation state (RFC 9001 §5.2).
+///
+/// A scan deriving Initial secrets for millions of targets repeats two
+/// version-independent steps per target: keying HKDF-Extract's HMAC with the
+/// version salt, and serializing the `HkdfLabel` structures for the five
+/// fixed labels. The cache performs both once, so [`InitialKeyCache::derive`]
+/// only runs the per-DCID extract/expand computations (and builds the AEAD
+/// contexts, whose AES round keys necessarily differ per DCID).
+pub struct InitialKeyCache {
+    salt_v1: hkdf::Extractor,
+    salt_d29: hkdf::Extractor,
+    salt_d23: hkdf::Extractor,
+    infos: InitialLabelInfos,
+}
+
+impl InitialKeyCache {
+    /// Precomputes the extractors for every known Initial salt.
+    pub fn new() -> Self {
+        InitialKeyCache {
+            salt_v1: hkdf::Extractor::new(initial_salt(Version::V1)),
+            salt_d29: hkdf::Extractor::new(initial_salt(Version::DRAFT_29)),
+            salt_d23: hkdf::Extractor::new(initial_salt(Version::DRAFT_27)),
+            infos: InitialLabelInfos {
+                client_in: hkdf::label_info("client in", &[], 32),
+                server_in: hkdf::label_info("server in", &[], 32),
+                quic_key: hkdf::label_info("quic key", &[], 16),
+                quic_iv: hkdf::label_info("quic iv", &[], 12),
+                quic_hp: hkdf::label_info("quic hp", &[], 16),
+            },
+        }
+    }
+
+    /// The process-wide shared cache.
+    pub fn global() -> &'static InitialKeyCache {
+        static CACHE: OnceLock<InitialKeyCache> = OnceLock::new();
+        CACHE.get_or_init(InitialKeyCache::new)
+    }
+
+    fn extractor(&self, version: Version) -> &hkdf::Extractor {
+        // Mirrors the salt lineage of `initial_salt`.
+        match version {
+            Version::V1 | Version::DRAFT_34 => &self.salt_v1,
+            v if v.is_ietf() && (0x1d..=0x20).contains(&(v.0 & 0xff)) => &self.salt_d29,
+            v if v.is_ietf() && (0x17..=0x1c).contains(&(v.0 & 0xff)) => &self.salt_d23,
+            _ => &self.salt_v1,
+        }
+    }
+
+    /// Client and server Initial packet keys for (version, client DCID).
+    /// Initial packets always use AES-128-GCM.
+    pub fn derive(&self, version: Version, dcid: &[u8]) -> (PacketKeys, PacketKeys) {
+        let initial_secret = self.extractor(version).extract(dcid);
+        let client_secret = hkdf::expand(&initial_secret, &self.infos.client_in, 32);
+        let server_secret = hkdf::expand(&initial_secret, &self.infos.server_in, 32);
+        (
+            PacketKeys::from_secret_initial(&client_secret, &self.infos),
+            PacketKeys::from_secret_initial(&server_secret, &self.infos),
+        )
+    }
+}
+
+impl Default for InitialKeyCache {
+    fn default() -> Self {
+        InitialKeyCache::new()
+    }
+}
+
 /// Client and server Initial packet keys for (version, client DCID)
-/// (RFC 9001 §5.2). Initial packets always use AES-128-GCM.
+/// (RFC 9001 §5.2), via the shared [`InitialKeyCache`].
 pub fn initial_keys(version: Version, dcid: &[u8]) -> (PacketKeys, PacketKeys) {
-    let initial_secret = hkdf::extract(initial_salt(version), dcid);
-    let client_secret = hkdf::expand_label(&initial_secret, "client in", &[], 32);
-    let server_secret = hkdf::expand_label(&initial_secret, "server in", &[], 32);
-    (
-        PacketKeys::from_secret(AeadAlgorithm::Aes128Gcm, &client_secret),
-        PacketKeys::from_secret(AeadAlgorithm::Aes128Gcm, &server_secret),
-    )
+    InitialKeyCache::global().derive(version, dcid)
 }
 
 #[cfg(test)]
@@ -141,6 +235,30 @@ mod tests {
         assert_ne!(initial_salt(Version::DRAFT_28), initial_salt(Version::DRAFT_29));
         assert_eq!(initial_salt(Version::DRAFT_34), initial_salt(Version::V1));
         assert_eq!(initial_salt(Version::DRAFT_32), initial_salt(Version::DRAFT_29));
+    }
+
+    /// The cached derivation path must match the uncached formula bit-exact
+    /// for every salt lineage.
+    #[test]
+    fn cache_matches_direct_derivation() {
+        let cache = InitialKeyCache::new();
+        for version in [Version::V1, Version::DRAFT_34, Version::DRAFT_29, Version::DRAFT_27] {
+            for dcid in [b"8byte-id".as_slice(), b"x", b"a-somewhat-longer-cid"] {
+                let (cc, cs) = cache.derive(version, dcid);
+                let initial_secret = hkdf::extract(initial_salt(version), dcid);
+                let client_secret = hkdf::expand_label(&initial_secret, "client in", &[], 32);
+                let server_secret = hkdf::expand_label(&initial_secret, "server in", &[], 32);
+                let dc = PacketKeys::from_secret(AeadAlgorithm::Aes128Gcm, &client_secret);
+                let ds = PacketKeys::from_secret(AeadAlgorithm::Aes128Gcm, &server_secret);
+                let sealed = cc.seal(3, b"aad", b"payload");
+                assert_eq!(dc.open(3, b"aad", &sealed).unwrap(), b"payload");
+                let sealed = ds.seal(9, b"aad2", b"payload2");
+                assert_eq!(cs.open(9, b"aad2", &sealed).unwrap(), b"payload2");
+                let sample = [0x5au8; 16];
+                assert_eq!(cc.hp_mask(&sample), dc.hp_mask(&sample));
+                assert_eq!(cs.hp_mask(&sample), ds.hp_mask(&sample));
+            }
+        }
     }
 
     #[test]

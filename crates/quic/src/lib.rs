@@ -33,6 +33,7 @@ pub mod version;
 pub use conn::{ClientConfig, ClientConnection, ConnectionState, HandshakeOutcome};
 pub use error::TransportError;
 pub use frame::Frame;
+pub use keys::{initial_keys, InitialKeyCache, PacketKeys};
 pub use packet::{ConnectionId, Packet, PacketType};
 pub use server::{Endpoint, EndpointConfig, StreamHandler, StreamSend};
 pub use tparams::TransportParameters;

@@ -1,0 +1,115 @@
+//! A minimal FxHash-style hasher for the hot socket-registry lookups.
+//!
+//! Every probe of a stateless sweep performs one `HashMap<SocketAddr, _>`
+//! lookup; with the std SipHash hasher that lookup dominates the cost of
+//! probing an unbound address. Socket addresses are small fixed-size keys
+//! under no adversarial pressure (the simulation generates them), so the
+//! word-at-a-time multiply-xor scheme used by rustc's FxHash is both safe
+//! and several times faster.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox/rustc FxHash implementation.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Word-at-a-time multiply-xor hasher (not DoS-resistant; keys are trusted).
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.add(v as u64);
+        self.add((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// A `HashMap` keyed by the fast hasher.
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Ipv4Addr, Ipv6Addr};
+    use crate::SocketAddr;
+
+    #[test]
+    fn distributes_socket_addrs() {
+        // Sequential addresses (the common simulation layout) must not
+        // collide into a handful of hash values.
+        let mut hashes = std::collections::HashSet::new();
+        for i in 0..4096u32 {
+            let addr = SocketAddr::new(Ipv4Addr::from(0x0a00_0000 + i), 443);
+            let mut h = FxHasher::default();
+            std::hash::Hash::hash(&addr, &mut h);
+            hashes.insert(h.finish());
+        }
+        assert_eq!(hashes.len(), 4096, "v4 collisions");
+        let v6 = SocketAddr::new(Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 1), 443);
+        let mut h = FxHasher::default();
+        std::hash::Hash::hash(&v6, &mut h);
+        assert_ne!(h.finish(), 0);
+    }
+
+    #[test]
+    fn fast_map_behaves_like_hashmap() {
+        let mut m: FastMap<SocketAddr, u32> = FastMap::default();
+        let a = SocketAddr::new(Ipv4Addr::new(10, 0, 0, 1), 443);
+        let b = SocketAddr::new(Ipv4Addr::new(10, 0, 0, 2), 443);
+        m.insert(a, 1);
+        m.insert(b, 2);
+        m.insert(a, 3);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(&a), Some(&3));
+        assert_eq!(m.get(&b), Some(&2));
+    }
+}

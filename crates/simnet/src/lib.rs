@@ -13,10 +13,11 @@
 
 pub mod addr;
 pub mod clock;
+pub mod fasthash;
 pub mod net;
 pub mod stats;
 
 pub use addr::{IpAddr, Prefix, SocketAddr};
 pub use clock::{Duration, SimClock, SimTime};
 pub use net::{Network, ServiceCtx, TcpAction, TcpFactory, TcpHandler, TcpStream, UdpService};
-pub use stats::NetStats;
+pub use stats::{LocalStats, NetStats};

@@ -6,14 +6,14 @@
 //! scanning safe while keeping each simulated host single-threaded, like a
 //! real single-homed server process.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
 use crate::addr::SocketAddr;
 use crate::clock::{Duration, SimClock, SimTime};
-use crate::stats::NetStats;
+use crate::fasthash::FastMap;
+use crate::stats::{LocalStats, NetStats};
 
 /// Handler for datagrams arriving at one bound UDP socket. One instance
 /// serves every client flow (real servers demultiplex by connection ID).
@@ -59,8 +59,8 @@ impl ServiceCtx<'_> {
 
 /// The simulated Internet fabric.
 pub struct Network {
-    udp: HashMap<SocketAddr, Mutex<Box<dyn UdpService>>>,
-    tcp: HashMap<SocketAddr, Box<dyn TcpFactory>>,
+    udp: FastMap<SocketAddr, Mutex<Box<dyn UdpService>>>,
+    tcp: FastMap<SocketAddr, Box<dyn TcpFactory>>,
     /// Virtual clock shared by all drivers.
     pub clock: SimClock,
     /// Traffic counters.
@@ -75,8 +75,8 @@ impl Network {
     /// Creates a loss-free network with a 20 ms simulated RTT.
     pub fn new(seed: u64) -> Self {
         Network {
-            udp: HashMap::new(),
-            tcp: HashMap::new(),
+            udp: FastMap::default(),
+            tcp: FastMap::default(),
             clock: SimClock::new(),
             stats: NetStats::new(),
             loss_permille: 0,
@@ -145,31 +145,62 @@ impl Network {
     /// packet was lost, or the service stayed silent). Advances the clock by
     /// one RTT when a response comes back.
     pub fn udp_send(&self, src: SocketAddr, dst: SocketAddr, payload: &[u8]) -> Vec<Vec<u8>> {
-        self.stats.record_send(payload.len());
+        let mut delivered = Vec::new();
+        self.udp_send_into(src, dst, payload, &mut delivered);
+        delivered
+    }
+
+    /// [`Network::udp_send`] without allocating the reply container: `out` is
+    /// cleared and refilled, so a scan loop can reuse one buffer across
+    /// millions of probes (the common miss case performs no allocation).
+    pub fn udp_send_into(
+        &self,
+        src: SocketAddr,
+        dst: SocketAddr,
+        payload: &[u8],
+        out: &mut Vec<Vec<u8>>,
+    ) {
+        let mut local = LocalStats::new();
+        self.udp_send_accounted(src, dst, payload, out, &mut local);
+        local.flush(&self.stats);
+    }
+
+    /// [`Network::udp_send_into`] with caller-held traffic accounting: counts
+    /// go into `local` instead of the shared [`NetStats`] atomics, so
+    /// parallel scan shards pay no shared-cache-line traffic per probe. The
+    /// caller must eventually [`LocalStats::flush`] into [`Network::stats`].
+    pub fn udp_send_accounted(
+        &self,
+        src: SocketAddr,
+        dst: SocketAddr,
+        payload: &[u8],
+        out: &mut Vec<Vec<u8>>,
+        local: &mut LocalStats,
+    ) {
+        out.clear();
+        local.record_send(payload.len());
         if self.dropped() {
-            self.stats.record_drop();
-            return Vec::new();
+            local.record_drop();
+            return;
         }
         let Some(service) = self.udp.get(&dst) else {
-            return Vec::new();
+            return;
         };
-        let mut replies = Vec::new();
         {
             let mut guard = service.lock();
-            let mut ctx = ServiceCtx { now: self.clock.now(), replies: &mut replies };
+            let mut ctx = ServiceCtx { now: self.clock.now(), replies: out };
             guard.on_datagram(&mut ctx, src, payload);
         }
         self.clock.advance(self.rtt);
-        let mut delivered = Vec::with_capacity(replies.len());
-        for r in replies {
+        out.retain(|r| {
             if self.dropped() {
-                self.stats.record_drop();
-                continue;
+                local.record_drop();
+                false
+            } else {
+                local.record_recv(r.len());
+                true
             }
-            self.stats.record_recv(r.len());
-            delivered.push(r);
-        }
-        delivered
+        });
     }
 
     /// Opens a TCP connection; `None` models RST/closed port. The returned
@@ -275,6 +306,20 @@ mod tests {
         let (sent, bytes_sent, recvd, _, _) = net.stats.snapshot();
         assert_eq!((sent, bytes_sent, recvd), (2, 6, 1));
         assert!(net.clock.now() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn udp_send_into_reuses_buffer() {
+        let mut net = Network::new(1);
+        net.bind_udp(addr(1, 443), Box::new(Echo));
+        let mut replies = Vec::new();
+        net.udp_send_into(addr(9, 1), addr(1, 443), b"abc", &mut replies);
+        assert_eq!(replies, vec![b"cba".to_vec()]);
+        // A miss clears the buffer instead of leaving stale replies.
+        net.udp_send_into(addr(9, 1), addr(2, 443), b"abc", &mut replies);
+        assert!(replies.is_empty());
+        net.udp_send_into(addr(9, 1), addr(1, 443), b"xy", &mut replies);
+        assert_eq!(replies, vec![b"yx".to_vec()]);
     }
 
     #[test]

@@ -60,6 +60,55 @@ impl NetStats {
     }
 }
 
+/// Plain-integer counter accumulator for a single thread. Scan shards
+/// account each probe here (no shared-cache-line traffic on the per-packet
+/// fast path) and [`LocalStats::flush`] the totals into the network-wide
+/// [`NetStats`] once per shard.
+#[derive(Debug, Default, Clone)]
+pub struct LocalStats {
+    /// Datagrams sent.
+    pub packets_sent: u64,
+    /// Bytes sent.
+    pub bytes_sent: u64,
+    /// Datagrams received.
+    pub packets_received: u64,
+    /// Bytes received.
+    pub bytes_received: u64,
+    /// Packets dropped by the loss model.
+    pub packets_dropped: u64,
+}
+
+impl LocalStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_send(&mut self, bytes: usize) {
+        self.packets_sent += 1;
+        self.bytes_sent += bytes as u64;
+    }
+
+    pub(crate) fn record_recv(&mut self, bytes: usize) {
+        self.packets_received += 1;
+        self.bytes_received += bytes as u64;
+    }
+
+    pub(crate) fn record_drop(&mut self) {
+        self.packets_dropped += 1;
+    }
+
+    /// Adds the accumulated counts into `stats` and zeroes this accumulator.
+    pub fn flush(&mut self, stats: &NetStats) {
+        stats.packets_sent.fetch_add(self.packets_sent, Ordering::Relaxed);
+        stats.bytes_sent.fetch_add(self.bytes_sent, Ordering::Relaxed);
+        stats.packets_received.fetch_add(self.packets_received, Ordering::Relaxed);
+        stats.bytes_received.fetch_add(self.bytes_received, Ordering::Relaxed);
+        stats.packets_dropped.fetch_add(self.packets_dropped, Ordering::Relaxed);
+        *self = LocalStats::default();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

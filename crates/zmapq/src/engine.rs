@@ -1,5 +1,20 @@
 //! The scan engine: permuted sweep over prefixes (IPv4) or a target list
 //! (IPv6), with rate limiting and blocklist filtering.
+//!
+//! ## Parallel sweep architecture
+//!
+//! The Feistel permutation maps scan indices `[0, n)` to addresses, so the
+//! index domain — not the address space — is the unit of work distribution:
+//! the domain is split into `workers` contiguous index ranges (shards), each
+//! walked by its own thread with a private [`TokenBucket`] granted
+//! `rate_pps / workers` of the aggregate budget and a private probe scratch
+//! buffer. Because the probe sent for index `i` depends only on `i` and the
+//! seed (never on thread identity or timing), and shard results are merged
+//! back in index order, a scan yields byte-identical results for any worker
+//! count on a loss-free network. (With simulated loss enabled the drop
+//! pattern depends on global packet order and thus on thread interleaving.)
+
+use std::time::Instant;
 
 use simnet::addr::{Ipv4Addr, Ipv6Addr, Prefix};
 use simnet::{IpAddr, Network, SocketAddr};
@@ -15,12 +30,16 @@ pub struct ZmapConfig {
     pub source: SocketAddr,
     /// Target port.
     pub port: u16,
-    /// Probe rate in packets per virtual second (paper: up to 15 000).
+    /// Aggregate probe rate in packets per virtual second (paper: up to
+    /// 15 000), divided evenly across worker shards.
     pub rate_pps: u64,
     /// Permutation seed.
     pub seed: u64,
     /// Excluded prefixes.
     pub blocklist: Blocklist,
+    /// Sweep shard threads (1 = serial). Results are identical for any
+    /// value; only wall-clock time changes.
+    pub workers: usize,
 }
 
 impl ZmapConfig {
@@ -32,8 +51,138 @@ impl ZmapConfig {
             rate_pps: 15_000,
             seed: 0x5eed,
             blocklist: Blocklist::new(),
+            workers: 1,
         }
     }
+}
+
+/// Per-shard sweep accounting (the observable side of the parallel sweep).
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Shard number.
+    pub shard: usize,
+    /// Half-open scan-index range `[lo, hi)` this shard walked.
+    pub index_range: (u64, u64),
+    /// Probes actually sent (indices minus blocklisted addresses).
+    pub probes: u64,
+    /// Addresses skipped by the blocklist.
+    pub blocked: u64,
+    /// Positive results contributed.
+    pub hits: u64,
+    /// Virtual time observed from shard start to shard end. Shards share
+    /// the global clock, so ranges overlap across shards.
+    pub virtual_us: u64,
+    /// Wall-clock time this shard's thread spent scanning.
+    pub wall_us: u64,
+}
+
+impl ShardStats {
+    /// Probes per *virtual* second — the paced rate this shard achieved.
+    pub fn achieved_pps(&self) -> f64 {
+        if self.virtual_us == 0 {
+            0.0
+        } else {
+            self.probes as f64 * 1e6 / self.virtual_us as f64
+        }
+    }
+
+    /// Probes per *wall-clock* second — the simulation throughput.
+    pub fn wall_pps(&self) -> f64 {
+        if self.wall_us == 0 {
+            0.0
+        } else {
+            self.probes as f64 * 1e6 / self.wall_us as f64
+        }
+    }
+}
+
+/// Whole-scan accounting: per-shard stats plus the [`simnet::NetStats`]
+/// deltas the sweep generated.
+#[derive(Debug, Clone, Default)]
+pub struct ScanReport {
+    /// One entry per shard, in index order.
+    pub shards: Vec<ShardStats>,
+    /// Datagrams the sweep put on the wire.
+    pub packets_sent: u64,
+    /// Bytes the sweep put on the wire (the §3.1 padding cost).
+    pub bytes_sent: u64,
+    /// Response datagrams delivered back.
+    pub packets_received: u64,
+    /// Wall-clock duration of the whole scan.
+    pub wall_us: u64,
+}
+
+impl ScanReport {
+    /// Total probes across shards.
+    pub fn probes(&self) -> u64 {
+        self.shards.iter().map(|s| s.probes).sum()
+    }
+
+    /// Total hits across shards.
+    pub fn hits(&self) -> u64 {
+        self.shards.iter().map(|s| s.hits).sum()
+    }
+
+    /// Aggregate probes per wall-clock second.
+    pub fn wall_pps(&self) -> f64 {
+        if self.wall_us == 0 {
+            0.0
+        } else {
+            self.probes() as f64 * 1e6 / self.wall_us as f64
+        }
+    }
+
+    /// Human-readable per-shard achieved-pps report.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "scan: {} probes, {} hits, {} pkts / {} B sent, {:.1} ms wall, {:.0} probes/s wall",
+            self.probes(),
+            self.hits(),
+            self.packets_sent,
+            self.bytes_sent,
+            self.wall_us as f64 / 1e3,
+            self.wall_pps(),
+        );
+        for s in &self.shards {
+            let _ = writeln!(
+                out,
+                "  shard {}: idx [{}, {}), {} probes, {} blocked, {} hits, \
+                 {:.0} pps paced, {:.0} probes/s wall",
+                s.shard,
+                s.index_range.0,
+                s.index_range.1,
+                s.probes,
+                s.blocked,
+                s.hits,
+                s.achieved_pps(),
+                s.wall_pps(),
+            );
+        }
+        out
+    }
+}
+
+/// Splits `[0, total)` into at most `workers` contiguous non-empty ranges.
+/// The union of the ranges, in order, is exactly `[0, total)` — shards
+/// partition the scan-index domain with no gaps and no overlaps.
+pub fn shard_ranges(total: u64, workers: usize) -> Vec<(u64, u64)> {
+    if total == 0 {
+        return Vec::new();
+    }
+    let workers = (workers.max(1) as u64).min(total);
+    let chunk = total / workers;
+    let rem = total % workers;
+    let mut bounds = Vec::with_capacity(workers as usize);
+    let mut lo = 0u64;
+    for w in 0..workers {
+        let hi = lo + chunk + u64::from(w < rem);
+        bounds.push((lo, hi));
+        lo = hi;
+    }
+    bounds
 }
 
 /// The scanner.
@@ -47,6 +196,56 @@ impl ZmapScanner {
         ZmapScanner { config }
     }
 
+    /// The per-shard slice of the aggregate rate budget.
+    fn shard_rate(&self, shard_count: usize) -> u64 {
+        (self.config.rate_pps / shard_count.max(1) as u64).max(1)
+    }
+
+    /// Runs `run_shard` over the sharded index domain — on the caller's
+    /// thread for a single shard, on scoped threads otherwise — and merges
+    /// results in index order.
+    fn sharded<T: Send>(
+        &self,
+        net: &Network,
+        total: u64,
+        run_shard: impl Fn(usize, u64, u64, u64) -> (Vec<T>, ShardStats) + Sync,
+    ) -> (Vec<T>, ScanReport) {
+        let wall = Instant::now();
+        let before = net.stats.snapshot();
+        let bounds = shard_ranges(total, self.config.workers);
+        let rate = self.shard_rate(bounds.len());
+        let outcomes: Vec<(Vec<T>, ShardStats)> = if bounds.len() <= 1 {
+            bounds.iter().enumerate().map(|(w, &(lo, hi))| run_shard(w, lo, hi, rate)).collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = bounds
+                    .iter()
+                    .enumerate()
+                    .map(|(w, &(lo, hi))| {
+                        let run_shard = &run_shard;
+                        scope.spawn(move || run_shard(w, lo, hi, rate))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("scan shard panicked")).collect()
+            })
+        };
+        let after = net.stats.snapshot();
+        let mut results = Vec::new();
+        let mut shards = Vec::with_capacity(outcomes.len());
+        for (mut shard_results, stats) in outcomes {
+            results.append(&mut shard_results);
+            shards.push(stats);
+        }
+        let report = ScanReport {
+            shards,
+            packets_sent: after.0.saturating_sub(before.0),
+            bytes_sent: after.1.saturating_sub(before.1),
+            packets_received: after.2.saturating_sub(before.2),
+            wall_us: wall.elapsed().as_micros() as u64,
+        };
+        (results, report)
+    }
+
     /// Sweeps the address space covered by `prefixes` with the QUIC VN
     /// module, returning every Version Negotiation response.
     pub fn scan_v4(
@@ -55,26 +254,56 @@ impl ZmapScanner {
         prefixes: &[Prefix],
         module: &QuicVnModule,
     ) -> Vec<VnResult> {
+        self.scan_v4_with_report(net, prefixes, module).0
+    }
+
+    /// [`ZmapScanner::scan_v4`] plus the per-shard [`ScanReport`].
+    pub fn scan_v4_with_report(
+        &self,
+        net: &Network,
+        prefixes: &[Prefix],
+        module: &QuicVnModule,
+    ) -> (Vec<VnResult>, ScanReport) {
         // Build the flattened (prefix, size) ranges.
         let sizes: Vec<u128> = prefixes.iter().map(|p| p.size()).collect();
         let total: u128 = sizes.iter().sum();
         let total = u64::try_from(total).expect("scan space fits in u64");
-        let perm = FeistelPermutation::new(total, self.config.seed);
-        let mut bucket = TokenBucket::new(self.config.rate_pps);
-        let mut results = Vec::new();
-        for i in 0..total {
-            let flat = perm.permute(i);
-            let addr = flat_to_addr(prefixes, &sizes, flat);
-            if self.config.blocklist.is_blocked(&addr) {
-                continue;
+        let perm = FeistelPermutation::new(total.max(1), self.config.seed);
+        self.sharded(net, total, |shard, lo, hi, rate| {
+            let mut bucket = TokenBucket::new(rate);
+            let mut scratch = module.make_scratch();
+            let mut results = Vec::new();
+            let mut blocked = 0u64;
+            let mut probes = 0u64;
+            let shard_wall = Instant::now();
+            let v_start = net.clock.now().0;
+            for i in lo..hi {
+                let flat = perm.permute(i);
+                let addr = flat_to_addr(prefixes, &sizes, flat);
+                if self.config.blocklist.is_blocked(&addr) {
+                    blocked += 1;
+                    continue;
+                }
+                bucket.acquire(&net.clock);
+                probes += 1;
+                let dst = SocketAddr::new(addr, self.config.port);
+                if let Some(hit) = module.probe_with(&mut scratch, net, self.config.source, dst, i)
+                {
+                    results.push(hit);
+                }
             }
-            bucket.acquire(&net.clock);
-            let dst = SocketAddr::new(addr, self.config.port);
-            if let Some(hit) = module.probe(net, self.config.source, dst, i) {
-                results.push(hit);
-            }
-        }
-        results
+            scratch.flush_stats(net);
+            let stats = ShardStats {
+                shard,
+                index_range: (lo, hi),
+                probes,
+                blocked,
+                hits: results.len() as u64,
+                virtual_us: net.clock.now().0.saturating_sub(v_start),
+                wall_us: shard_wall.elapsed().as_micros() as u64,
+            };
+            (results, stats)
+        })
     }
 
     /// Probes an explicit IPv6 target list (hitlist + AAAA input, §3.1).
@@ -84,42 +313,98 @@ impl ZmapScanner {
         targets: &[Ipv6Addr],
         module: &QuicVnModule,
     ) -> Vec<VnResult> {
-        let mut bucket = TokenBucket::new(self.config.rate_pps);
-        let mut results = Vec::new();
-        for (i, addr) in targets.iter().enumerate() {
-            let ip = IpAddr::V6(*addr);
-            if self.config.blocklist.is_blocked(&ip) {
-                continue;
+        self.scan_v6_with_report(net, targets, module).0
+    }
+
+    /// [`ZmapScanner::scan_v6`] plus the per-shard [`ScanReport`].
+    pub fn scan_v6_with_report(
+        &self,
+        net: &Network,
+        targets: &[Ipv6Addr],
+        module: &QuicVnModule,
+    ) -> (Vec<VnResult>, ScanReport) {
+        self.sharded(net, targets.len() as u64, |shard, lo, hi, rate| {
+            let mut bucket = TokenBucket::new(rate);
+            let mut scratch = module.make_scratch();
+            let mut results = Vec::new();
+            let mut blocked = 0u64;
+            let mut probes = 0u64;
+            let shard_wall = Instant::now();
+            let v_start = net.clock.now().0;
+            for i in lo..hi {
+                let ip = IpAddr::V6(targets[i as usize]);
+                if self.config.blocklist.is_blocked(&ip) {
+                    blocked += 1;
+                    continue;
+                }
+                bucket.acquire(&net.clock);
+                probes += 1;
+                let dst = SocketAddr::new(ip, self.config.port);
+                if let Some(hit) = module.probe_with(&mut scratch, net, self.config.source, dst, i)
+                {
+                    results.push(hit);
+                }
             }
-            bucket.acquire(&net.clock);
-            let dst = SocketAddr::new(ip, self.config.port);
-            if let Some(hit) = module.probe(net, self.config.source, dst, i as u64) {
-                results.push(hit);
-            }
-        }
-        results
+            scratch.flush_stats(net);
+            let stats = ShardStats {
+                shard,
+                index_range: (lo, hi),
+                probes,
+                blocked,
+                hits: results.len() as u64,
+                virtual_us: net.clock.now().0.saturating_sub(v_start),
+                wall_us: shard_wall.elapsed().as_micros() as u64,
+            };
+            (results, stats)
+        })
     }
 
     /// TCP SYN sweep over `prefixes` (port 443 discovery for the TLS scans).
     pub fn scan_tcp_syn(&self, net: &Network, prefixes: &[Prefix]) -> Vec<IpAddr> {
+        self.scan_tcp_syn_with_report(net, prefixes).0
+    }
+
+    /// [`ZmapScanner::scan_tcp_syn`] plus the per-shard [`ScanReport`].
+    pub fn scan_tcp_syn_with_report(
+        &self,
+        net: &Network,
+        prefixes: &[Prefix],
+    ) -> (Vec<IpAddr>, ScanReport) {
         let sizes: Vec<u128> = prefixes.iter().map(|p| p.size()).collect();
         let total: u128 = sizes.iter().sum();
         let total = u64::try_from(total).expect("scan space fits in u64");
-        let perm = FeistelPermutation::new(total, self.config.seed ^ 0x7cb);
-        let mut bucket = TokenBucket::new(self.config.rate_pps);
-        let mut open = Vec::new();
-        for i in 0..total {
-            let flat = perm.permute(i);
-            let addr = flat_to_addr(prefixes, &sizes, flat);
-            if self.config.blocklist.is_blocked(&addr) {
-                continue;
+        let perm = FeistelPermutation::new(total.max(1), self.config.seed ^ 0x7cb);
+        self.sharded(net, total, |shard, lo, hi, rate| {
+            let mut bucket = TokenBucket::new(rate);
+            let mut open = Vec::new();
+            let mut blocked = 0u64;
+            let mut probes = 0u64;
+            let shard_wall = Instant::now();
+            let v_start = net.clock.now().0;
+            for i in lo..hi {
+                let flat = perm.permute(i);
+                let addr = flat_to_addr(prefixes, &sizes, flat);
+                if self.config.blocklist.is_blocked(&addr) {
+                    blocked += 1;
+                    continue;
+                }
+                bucket.acquire(&net.clock);
+                probes += 1;
+                if crate::modules::tcp_syn::probe(net, SocketAddr::new(addr, self.config.port)) {
+                    open.push(addr);
+                }
             }
-            bucket.acquire(&net.clock);
-            if crate::modules::tcp_syn::probe(net, SocketAddr::new(addr, self.config.port)) {
-                open.push(addr);
-            }
-        }
-        open
+            let stats = ShardStats {
+                shard,
+                index_range: (lo, hi),
+                probes,
+                blocked,
+                hits: open.len() as u64,
+                virtual_us: net.clock.now().0.saturating_sub(v_start),
+                wall_us: shard_wall.elapsed().as_micros() as u64,
+            };
+            (open, stats)
+        })
     }
 }
 
@@ -193,6 +478,125 @@ mod tests {
         assert_eq!(hits[0].versions, vec![Version::DRAFT_29, Version::DRAFT_28]);
     }
 
+    /// The tentpole property: the same seed yields byte-identical results —
+    /// same hits in the same order — regardless of worker count.
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let build_net = || {
+            let mut net = Network::new(5);
+            for last in [2u8, 19, 77, 130, 200, 254] {
+                net.bind_udp(
+                    SocketAddr::new(Ipv4Addr::new(10, 50, 0, last), 443),
+                    quic_host(vec![Version::DRAFT_29, Version::V1]),
+                );
+                net.bind_udp(
+                    SocketAddr::new(Ipv4Addr::new(10, 50, 1, last), 443),
+                    quic_host(vec![Version::DRAFT_32]),
+                );
+            }
+            net
+        };
+        let module = QuicVnModule::new(42);
+        let prefixes = [Prefix::new(Ipv4Addr::new(10, 50, 0, 0), 23)];
+        let scan = |workers: usize| {
+            let mut cfg = ZmapConfig::new(SocketAddr::new(Ipv4Addr::new(192, 0, 2, 9), 50000));
+            cfg.workers = workers;
+            let (hits, report) = ZmapScanner::new(cfg).scan_v4_with_report(
+                &build_net(),
+                &prefixes,
+                &module,
+            );
+            assert_eq!(report.shards.len(), workers.min(512));
+            assert_eq!(report.probes(), 512);
+            assert_eq!(report.hits(), 12);
+            (hits, report)
+        };
+        let (serial, _) = scan(1);
+        assert_eq!(serial.len(), 12);
+        for workers in [2usize, 4, 8] {
+            let (parallel, report) = scan(workers);
+            assert_eq!(parallel, serial, "workers={workers}");
+            // Shards partition the index domain contiguously.
+            let mut next = 0u64;
+            for s in &report.shards {
+                assert_eq!(s.index_range.0, next);
+                next = s.index_range.1;
+            }
+            assert_eq!(next, 512);
+        }
+    }
+
+    /// Parallel v6 list scans and TCP SYN sweeps are deterministic too.
+    #[test]
+    fn parallel_v6_and_tcp_match_serial() {
+        struct NoTcp;
+        impl simnet::TcpHandler for NoTcp {
+            fn on_data(
+                &mut self,
+                _: &mut ServiceCtx<'_>,
+                _: &[u8],
+                _: &mut Vec<u8>,
+            ) -> simnet::TcpAction {
+                simnet::TcpAction::Close
+            }
+        }
+        struct NoTcpFactory;
+        impl simnet::TcpFactory for NoTcpFactory {
+            fn accept(&self, _: SocketAddr) -> Box<dyn simnet::TcpHandler> {
+                Box::new(NoTcp)
+            }
+        }
+        let mut net = Network::new(5);
+        let mut targets = Vec::new();
+        for i in 0..64u16 {
+            let v6 = Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, i);
+            targets.push(v6);
+            if i % 3 == 0 {
+                net.bind_udp(SocketAddr::new(v6, 443), quic_host(vec![Version::V1]));
+            }
+        }
+        for last in [7u8, 9, 33] {
+            net.bind_tcp(
+                SocketAddr::new(Ipv4Addr::new(10, 61, 0, last), 443),
+                Box::new(NoTcpFactory),
+            );
+        }
+        let module = QuicVnModule::new(3);
+        let prefixes = [Prefix::new(Ipv4Addr::new(10, 61, 0, 0), 24)];
+        let scanner_with = |workers: usize| {
+            let mut cfg = ZmapConfig::new(SocketAddr::new(Ipv4Addr::new(192, 0, 2, 9), 50000));
+            cfg.workers = workers;
+            ZmapScanner::new(cfg)
+        };
+        let v6_serial = scanner_with(1).scan_v6(&net, &targets, &module);
+        let tcp_serial = scanner_with(1).scan_tcp_syn(&net, &prefixes);
+        assert_eq!(v6_serial.len(), 22);
+        assert_eq!(tcp_serial.len(), 3);
+        for workers in [3usize, 8] {
+            assert_eq!(scanner_with(workers).scan_v6(&net, &targets, &module), v6_serial);
+            assert_eq!(scanner_with(workers).scan_tcp_syn(&net, &prefixes), tcp_serial);
+        }
+    }
+
+    #[test]
+    fn shard_bounds_partition_domain() {
+        for (total, workers) in [(0u64, 4usize), (1, 4), (5, 3), (512, 8), (513, 8), (7, 20)] {
+            let bounds = shard_ranges(total, workers);
+            if total == 0 {
+                assert!(bounds.is_empty());
+                continue;
+            }
+            assert!(bounds.len() <= workers.max(1));
+            let mut next = 0u64;
+            for &(lo, hi) in &bounds {
+                assert_eq!(lo, next);
+                assert!(hi > lo, "empty shard in {bounds:?}");
+                next = hi;
+            }
+            assert_eq!(next, total, "total={total} workers={workers}");
+        }
+    }
+
     #[test]
     fn blocklist_is_respected() {
         let mut net = Network::new(5);
@@ -205,7 +609,10 @@ mod tests {
         let scanner = ZmapScanner::new(cfg);
         let module = QuicVnModule::new(1);
         let prefixes = [Prefix::new(Ipv4Addr::new(10, 50, 0, 0), 24)];
-        assert!(scanner.scan_v4(&net, &prefixes, &module).is_empty());
+        let (hits, report) = scanner.scan_v4_with_report(&net, &prefixes, &module);
+        assert!(hits.is_empty());
+        assert_eq!(report.shards[0].blocked, 16);
+        assert_eq!(report.probes(), 240);
     }
 
     #[test]
@@ -248,5 +655,29 @@ mod tests {
         scanner.scan_v4(&net, &prefixes, &module);
         let secs = (net.clock.now().0 - before) as f64 / 1e6;
         assert!((0.8..1.6).contains(&secs), "1024 probes at 1k pps took {secs}s");
+    }
+
+    /// The aggregate rate budget is divided across shards: a parallel sweep
+    /// consumes roughly the same virtual time as a serial one.
+    #[test]
+    fn parallel_scan_duration_reflects_aggregate_rate() {
+        let net = Network::new(5);
+        let mut cfg = ZmapConfig::new(SocketAddr::new(Ipv4Addr::new(192, 0, 2, 9), 50000));
+        cfg.rate_pps = 1000;
+        cfg.workers = 4;
+        let scanner = ZmapScanner::new(cfg);
+        let module = QuicVnModule::new(1);
+        let prefixes = [Prefix::new(Ipv4Addr::new(10, 60, 0, 0), 22)]; // 1024 addrs
+        let before = net.clock.now().0;
+        let (_, report) = scanner.scan_v4_with_report(&net, &prefixes, &module);
+        let secs = (net.clock.now().0 - before) as f64 / 1e6;
+        // Thread interleaving makes the exact figure nondeterministic
+        // (shards credit each other's clock advances), so the band is wide;
+        // the budget must neither collapse (4x too fast) nor be multiplied.
+        assert!((0.2..4.2).contains(&secs), "1024 probes at 1k pps x4 workers took {secs}s");
+        assert_eq!(report.shards.len(), 4);
+        for s in &report.shards {
+            assert!(s.achieved_pps() > 0.0);
+        }
     }
 }

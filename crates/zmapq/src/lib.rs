@@ -11,7 +11,7 @@ pub mod modules;
 pub mod ratelimit;
 
 pub use blocklist::Blocklist;
-pub use engine::{ZmapConfig, ZmapScanner};
+pub use engine::{shard_ranges, ScanReport, ShardStats, ZmapConfig, ZmapScanner};
 pub use feistel::FeistelPermutation;
-pub use modules::quic_vn::{QuicVnModule, VnResult};
+pub use modules::quic_vn::{ProbeScratch, QuicVnModule, VnResult};
 pub use ratelimit::TokenBucket;

@@ -29,6 +29,33 @@ pub struct QuicVnModule {
     seed: u64,
 }
 
+/// Multiplier deriving per-target DCIDs from the scan index (PCG's LCG
+/// constant — any odd mixer works, it only has to vary per target).
+const DCID_MULT: u64 = 0x5851_f42d_4c95_7f2d;
+
+/// Byte range of the DCID inside the probe datagram: 1 header byte + 4
+/// version bytes + 1 length byte, then the 8-byte DCID.
+const DCID_RANGE: std::ops::Range<usize> = 6..14;
+
+/// Per-thread scan scratch: the probe template (only the DCID bytes change
+/// between targets) and a reusable reply buffer. One instance per sweep
+/// shard makes the steady-state probe loop allocation-free — the serial
+/// path previously built a fresh ≥1200-byte probe and a reply `Vec` for
+/// every one of the ~4M addresses of a full-scale IPv4 sweep.
+pub struct ProbeScratch {
+    probe: Vec<u8>,
+    replies: Vec<Vec<u8>>,
+    stats: simnet::LocalStats,
+}
+
+impl ProbeScratch {
+    /// Flushes the locally accumulated traffic counters into the shared
+    /// [`simnet::NetStats`]. Call once per shard, after the scan loop.
+    pub fn flush_stats(&mut self, net: &Network) {
+        self.stats.flush(&net.stats);
+    }
+}
+
 impl QuicVnModule {
     /// Standard padded module.
     pub fn new(seed: u64) -> Self {
@@ -47,7 +74,7 @@ impl QuicVnModule {
         // the server never decrypts a reserved-version packet).
         w.put_u8(0xc0);
         w.put_u32(self.offered_version.0);
-        let dcid = (self.seed ^ i.wrapping_mul(0x5851_f42d_4c95_7f2d)).to_be_bytes();
+        let dcid = (self.seed ^ i.wrapping_mul(DCID_MULT)).to_be_bytes();
         w.put_vec8(&dcid);
         w.put_vec8(b"zmapscan"); // SCID
         w.put_varint(0); // token length
@@ -58,6 +85,36 @@ impl QuicVnModule {
         w.into_vec()
     }
 
+    /// Allocates the reusable per-thread scratch for [`QuicVnModule::probe_with`].
+    pub fn make_scratch(&self) -> ProbeScratch {
+        ProbeScratch {
+            probe: self.build_probe(0),
+            replies: Vec::new(),
+            stats: simnet::LocalStats::new(),
+        }
+    }
+
+    /// Sends the probe to `dst` and classifies the response, reusing
+    /// `scratch` — the allocation-free fast path of the sweep.
+    pub fn probe_with(
+        &self,
+        scratch: &mut ProbeScratch,
+        net: &Network,
+        src: SocketAddr,
+        dst: SocketAddr,
+        index: u64,
+    ) -> Option<VnResult> {
+        let dcid = (self.seed ^ index.wrapping_mul(DCID_MULT)).to_be_bytes();
+        scratch.probe[DCID_RANGE].copy_from_slice(&dcid);
+        net.udp_send_accounted(src, dst, &scratch.probe, &mut scratch.replies, &mut scratch.stats);
+        for reply in &scratch.replies {
+            if let Some(versions) = parse_version_negotiation(reply) {
+                return Some(VnResult { addr: dst, versions });
+            }
+        }
+        None
+    }
+
     /// Sends the probe to `dst` and classifies the response.
     pub fn probe(
         &self,
@@ -66,14 +123,10 @@ impl QuicVnModule {
         dst: SocketAddr,
         index: u64,
     ) -> Option<VnResult> {
-        let probe = self.build_probe(index);
-        let replies = net.udp_send(src, dst, &probe);
-        for reply in replies {
-            if let Some(versions) = parse_version_negotiation(&reply) {
-                return Some(VnResult { addr: dst, versions });
-            }
-        }
-        None
+        let mut scratch = self.make_scratch();
+        let result = self.probe_with(&mut scratch, net, src, dst, index);
+        scratch.flush_stats(net);
+        result
     }
 }
 
@@ -105,7 +158,7 @@ pub fn is_version_negotiation(pkt: &Packet) -> bool {
 
 /// The probe's DCID for logging (mirrors `build_probe`).
 pub fn probe_dcid(seed: u64, i: u64) -> ConnectionId {
-    ConnectionId::new(&(seed ^ i.wrapping_mul(0x5851_f42d_4c95_7f2d)).to_be_bytes())
+    ConnectionId::new(&(seed ^ i.wrapping_mul(DCID_MULT)).to_be_bytes())
 }
 
 #[cfg(test)]
@@ -146,6 +199,20 @@ mod tests {
     #[test]
     fn distinct_dcids_per_target() {
         let m = QuicVnModule::new(9);
-        assert_ne!(m.build_probe(1)[6..14], m.build_probe(2)[6..14]);
+        assert_ne!(m.build_probe(1)[DCID_RANGE], m.build_probe(2)[DCID_RANGE]);
+    }
+
+    /// The in-place DCID patch of the scratch path must produce datagrams
+    /// byte-identical to `build_probe`.
+    #[test]
+    fn scratch_probe_matches_built_probe() {
+        for m in [QuicVnModule::new(7), QuicVnModule::unpadded(7)] {
+            let mut scratch = m.make_scratch();
+            for i in [0u64, 1, 2, 0xdead_beef, u64::MAX] {
+                let dcid = (7u64 ^ i.wrapping_mul(DCID_MULT)).to_be_bytes();
+                scratch.probe[DCID_RANGE].copy_from_slice(&dcid);
+                assert_eq!(scratch.probe, m.build_probe(i), "index {i}");
+            }
+        }
     }
 }

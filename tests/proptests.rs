@@ -118,7 +118,7 @@ proptest! {
     #[test]
     fn feistel_is_bijective(n in 1u64..50_000, seed in any::<u64>()) {
         let p = FeistelPermutation::new(n, seed);
-        // Spot-check injectivity on a sample window (full check in unit tests).
+        // Spot-check injectivity on a sample window (full check below).
         let sample = n.min(512);
         let mut seen = std::collections::HashSet::new();
         for i in 0..sample {
@@ -126,6 +126,58 @@ proptest! {
             prop_assert!(v < n);
             prop_assert!(seen.insert(v), "collision at {i}");
         }
+    }
+
+    /// Full bijection check: over the whole (arbitrary, including
+    /// non-power-of-two) domain, every output in `[0, n)` appears exactly
+    /// once.
+    #[test]
+    fn feistel_is_a_permutation_of_the_full_domain(
+        n in 1u64..4_096,
+        seed in any::<u64>(),
+    ) {
+        let p = FeistelPermutation::new(n, seed);
+        let mut seen = vec![false; n as usize];
+        for i in 0..n {
+            let v = p.permute(i);
+            prop_assert!(v < n, "permute({i}) = {v} out of range");
+            prop_assert!(!seen[v as usize], "permute({i}) = {v} repeated");
+            seen[v as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s), "some outputs never produced");
+    }
+
+    /// The sharded sweep's index partition walks the permuted domain
+    /// exactly once: shard ranges are contiguous, cover `[0, n)` without
+    /// gaps or overlaps, and the union of their permuted outputs is again
+    /// the full domain.
+    #[test]
+    fn sharded_traversal_covers_domain_exactly_once(
+        n in 1u64..4_096,
+        seed in any::<u64>(),
+        workers in 1usize..32,
+    ) {
+        let ranges = its_over_9000::zmapq::shard_ranges(n, workers);
+        prop_assert!(ranges.len() <= workers.max(1));
+        let mut next = 0u64;
+        for &(lo, hi) in &ranges {
+            prop_assert_eq!(lo, next, "gap or overlap at shard boundary");
+            prop_assert!(hi > lo, "empty shard");
+            next = hi;
+        }
+        prop_assert_eq!(next, n, "shards do not cover the domain");
+
+        let p = FeistelPermutation::new(n, seed);
+        let mut seen = vec![false; n as usize];
+        for &(lo, hi) in &ranges {
+            for i in lo..hi {
+                let v = p.permute(i);
+                prop_assert!(v < n);
+                prop_assert!(!seen[v as usize], "address visited twice");
+                seen[v as usize] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "address never visited");
     }
 
     #[test]
