@@ -12,7 +12,8 @@ use dns::massdns::BulkResolver;
 use dns::resolver::Resolver;
 use goscanner::{Goscanner, TlsScanResult, TlsTarget};
 use internet::universe::{InputList, Universe, UniverseConfig};
-use qscanner::{QScanner, QuicScanResult, QuicTarget};
+use internet::FaultPlan;
+use qscanner::{QScanner, QuicScanResult, QuicTarget, ScanOutcome};
 use simnet::addr::Ipv4Addr;
 use simnet::{IpAddr, Network};
 use zmapq::modules::quic_vn::{QuicVnModule, VnResult};
@@ -61,6 +62,118 @@ pub struct WeeklySnapshot {
     pub alt_svc: Vec<AltSvcObservation>,
     /// AS number per IPv4 ZMap hit (resolved against the week's AS DB).
     pub zmap_v4_asn: Vec<Option<u32>>,
+}
+
+impl WeeklySnapshot {
+    /// Order-sensitive digest of everything the weekly figures consume.
+    /// Two snapshots with the same fingerprint are byte-identical for the
+    /// paper's purposes; the reproducibility tests compare fingerprints
+    /// across worker counts, fault plans, and repeated runs.
+    pub fn fingerprint(&self) -> u64 {
+        use std::fmt::Write;
+        let mut repr = String::with_capacity(4096);
+        let _ = write!(repr, "{}|{:?}|{:?}|{:?}|{:?}", self.week, self.zmap_v4, self.zmap_v6, self.dns_lists, self.zmap_v4_asn);
+        for o in &self.alt_svc {
+            let _ = write!(repr, "|{:?};{};{};{}", o.addr, o.asn, o.alt_svc, o.domain_pairs);
+        }
+        fnv1a(repr.as_bytes())
+    }
+}
+
+/// FNV-1a — stable across processes and platforms, unlike `DefaultHasher`'s
+/// unspecified algorithm.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Count of stateful-scan verdicts per failure mode — the observable side
+/// of fault injection. Clean and faulted runs of the same seed agree on
+/// [`FailureBreakdown::timeouts`] (and every other aggregate) but split the
+/// timeout mass differently across the four silent-failure modes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FailureBreakdown {
+    /// Completed handshakes.
+    pub success: usize,
+    /// Nothing ever came back.
+    pub no_reply: usize,
+    /// Replies arrived but the handshake never finished.
+    pub stalled: usize,
+    /// The path signaled ICMP unreachable.
+    pub unreachable: usize,
+    /// A rate limiter signaled pushback.
+    pub rate_limited: usize,
+    /// CONNECTION_CLOSE with crypto error 0x128 (no SNI).
+    pub crypto_0x128: usize,
+    /// Other transport closes.
+    pub other_close: usize,
+    /// Version negotiation offered no compatible version.
+    pub version_mismatch: usize,
+    /// Everything else (TLS failures, protocol errors, panics).
+    pub other: usize,
+}
+
+impl FailureBreakdown {
+    /// Accumulates one scan verdict.
+    pub fn tally(&mut self, outcome: &ScanOutcome) {
+        match outcome {
+            ScanOutcome::Success => self.success += 1,
+            ScanOutcome::NoReply => self.no_reply += 1,
+            ScanOutcome::Stalled => self.stalled += 1,
+            ScanOutcome::Unreachable => self.unreachable += 1,
+            ScanOutcome::RateLimited => self.rate_limited += 1,
+            ScanOutcome::TransportClose { code: 0x128, .. } => self.crypto_0x128 += 1,
+            ScanOutcome::TransportClose { .. } => self.other_close += 1,
+            ScanOutcome::VersionMismatch => self.version_mismatch += 1,
+            _ => self.other += 1,
+        }
+    }
+
+    /// Tallies a whole result set.
+    pub fn from_results<'a>(results: impl IntoIterator<Item = &'a QuicScanResult>) -> Self {
+        let mut b = FailureBreakdown::default();
+        for r in results {
+            b.tally(&r.outcome);
+        }
+        b
+    }
+
+    /// The coarse "Timeout" row of Table 3: the four silent-failure modes a
+    /// faultless path cannot distinguish.
+    pub fn timeouts(&self) -> usize {
+        self.no_reply + self.stalled + self.unreachable + self.rate_limited
+    }
+
+    /// Total verdicts tallied.
+    pub fn total(&self) -> usize {
+        self.success
+            + self.timeouts()
+            + self.crypto_0x128
+            + self.other_close
+            + self.version_mismatch
+            + self.other
+    }
+
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        format!(
+            "== failure-mode breakdown ==\nsuccess:          {}\nno reply:         {}\nstalled:          {}\nunreachable:      {}\nrate limited:     {}\ncrypto 0x128:     {}\nother close:      {}\nversion mismatch: {}\nother:            {}\ntotal:            {}\n",
+            self.success,
+            self.no_reply,
+            self.stalled,
+            self.unreachable,
+            self.rate_limited,
+            self.crypto_0x128,
+            self.other_close,
+            self.version_mismatch,
+            self.other,
+            self.total(),
+        )
+    }
 }
 
 /// One resolved domain with its addresses (the DNS join input).
@@ -124,6 +237,16 @@ pub struct StatefulSnapshot {
     pub dns_lists: Vec<(InputList, usize, usize)>,
 }
 
+impl StatefulSnapshot {
+    /// Failure-mode breakdown over every stateful QUIC verdict (no-SNI and
+    /// SNI scans combined).
+    pub fn failure_breakdown(&self) -> FailureBreakdown {
+        FailureBreakdown::from_results(
+            self.quic_no_sni.iter().chain(self.quic_sni.iter().map(|(_, r)| r)),
+        )
+    }
+}
+
 /// Campaign runner.
 pub struct Campaign {
     /// Population multiplier (1.0 = default scale).
@@ -132,11 +255,15 @@ pub struct Campaign {
     pub seed: u64,
     /// Scan worker threads.
     pub workers: usize,
+    /// Fault injection applied to the simulated network. The default reads
+    /// `SIM_LOSS_PERMILLE` (the CI loss-matrix hook); the paper-facing
+    /// aggregates are calibrated to be invariant under any such plan.
+    pub fault: FaultPlan,
 }
 
 impl Default for Campaign {
     fn default() -> Self {
-        Campaign { size_factor: 1.0, seed: 0x9000, workers: 8 }
+        Campaign { size_factor: 1.0, seed: 0x9000, workers: 8, fault: FaultPlan::from_env() }
     }
 }
 
@@ -147,7 +274,7 @@ fn vantage_v4() -> IpAddr {
 impl Campaign {
     /// A reduced-size campaign for tests.
     pub fn tiny() -> Self {
-        Campaign { size_factor: 0.05, seed: 0x9000, workers: 4 }
+        Campaign { size_factor: 0.05, seed: 0x9000, workers: 4, fault: FaultPlan::from_env() }
     }
 
     fn universe(&self, week: u32) -> Universe {
@@ -157,6 +284,10 @@ impl Campaign {
         Universe::generate(cfg)
     }
 
+    fn network(&self, universe: &Universe) -> Network {
+        universe.build_network_with_faults(&self.fault)
+    }
+
     fn zmap(&self) -> ZmapScanner {
         let mut cfg = ZmapConfig::new(simnet::SocketAddr::new(
             Ipv4Addr::new(192, 0, 2, 10),
@@ -164,13 +295,17 @@ impl Campaign {
         ));
         cfg.rate_pps = 10_000_000; // virtual pps; pacing is accounted, not waited
         cfg.workers = self.workers;
+        // Under injected loss, single-shot discovery would drop responsive
+        // hosts; five duplicate probes push the per-host miss probability
+        // below 1e-5 at 50‰ loss, keeping hit sets identical to a clean run.
+        cfg.probe_repeat = if self.fault.loss_permille > 0 { 5 } else { 1 };
         ZmapScanner::new(cfg)
     }
 
     /// Runs the stateless weekly scans for `week`.
     pub fn run_weekly(&self, week: u32) -> WeeklySnapshot {
         let universe = self.universe(week);
-        let net = universe.build_network();
+        let net = self.network(&universe);
         let scanner = self.zmap();
         let module = QuicVnModule::new(self.seed);
         let zmap_v4 = scanner.scan_v4(&net, &universe.scan_prefixes(), &module);
@@ -238,7 +373,7 @@ impl Campaign {
     pub fn run_stateful(&self) -> StatefulSnapshot {
         let week = 18;
         let universe = self.universe(week);
-        let net = universe.build_network();
+        let net = self.network(&universe);
         let zscanner = self.zmap();
         let module = QuicVnModule::new(self.seed);
 
@@ -423,13 +558,13 @@ impl Campaign {
             .iter()
             .chain(&zmap_v6)
             .filter(|h| compatible(&h.versions))
-            .map(|h| QuicTarget { addr: h.addr.ip, sni: None })
+            .map(|h| QuicTarget::new(h.addr.ip, None))
             .collect();
         let quic_no_sni = qscan.scan_many(&net, &no_sni_quic_targets, self.workers);
 
         let sni_quic_targets: Vec<QuicTarget> = sni_pairs
             .iter()
-            .map(|((addr, domain), _)| QuicTarget { addr: *addr, sni: Some(domain.clone()) })
+            .map(|((addr, domain), _)| QuicTarget::new(*addr, Some(domain.clone())))
             .collect();
         let sni_results = qscan.scan_many(&net, &sni_quic_targets, self.workers);
         let quic_sni: Vec<(u8, QuicScanResult)> = sni_pairs
@@ -518,7 +653,7 @@ mod tests {
         let v4: Vec<_> = snap.quic_no_sni.iter().filter(|r| r.addr.is_v4()).collect();
         let success = v4.iter().filter(|r| r.outcome == ScanOutcome::Success).count();
         let crypto = v4.iter().filter(|r| r.outcome.is_crypto_0x128()).count();
-        let timeout = v4.iter().filter(|r| r.outcome == ScanOutcome::Timeout).count();
+        let timeout = v4.iter().filter(|r| r.outcome.is_timeout()).count();
         let mismatch =
             v4.iter().filter(|r| r.outcome == ScanOutcome::VersionMismatch).count();
         assert!(crypto > timeout, "0x128 ({crypto}) should dominate timeouts ({timeout})");
@@ -542,18 +677,135 @@ mod tests {
     }
 
     /// Sharded scans are deterministic: the same seed yields identical hit
-    /// sets (same order, same contents) at any worker count.
+    /// sets (same order, same contents) at any worker count — including
+    /// under injected faults, whose decisions are keyed per flow.
     #[test]
     fn weekly_campaign_is_worker_count_independent() {
-        let mut serial = Campaign::tiny();
-        serial.workers = 1;
-        let mut parallel = Campaign::tiny();
-        parallel.workers = 8;
-        let a = serial.run_weekly(18);
-        let b = parallel.run_weekly(18);
-        assert!(!a.zmap_v4.is_empty());
+        for fault in [FaultPlan::none(), FaultPlan::calibrated(50)] {
+            let mut serial = Campaign::tiny();
+            serial.workers = 1;
+            serial.fault = fault;
+            let mut parallel = Campaign::tiny();
+            parallel.workers = 8;
+            parallel.fault = fault;
+            let a = serial.run_weekly(18);
+            let b = parallel.run_weekly(18);
+            assert!(!a.zmap_v4.is_empty());
+            assert_eq!(a.zmap_v4, b.zmap_v4);
+            assert_eq!(a.zmap_v6, b.zmap_v6);
+            assert_eq!(a.fingerprint(), b.fingerprint(), "fault={fault:?}");
+        }
+    }
+
+    /// The breakdown keeps all four silent-failure modes apart — including
+    /// `Stalled`, which the calibrated campaign plan by construction cannot
+    /// produce (a host that replies partially classifies into a non-timeout
+    /// row on a clean path, so converting it would change the tables) but
+    /// which per-attempt scans against broken peers do.
+    #[test]
+    fn failure_breakdown_distinguishes_all_silent_modes() {
+        let mut b = FailureBreakdown::default();
+        for o in [
+            ScanOutcome::Success,
+            ScanOutcome::NoReply,
+            ScanOutcome::Stalled,
+            ScanOutcome::Stalled,
+            ScanOutcome::Unreachable,
+            ScanOutcome::RateLimited,
+            ScanOutcome::VersionMismatch,
+            ScanOutcome::TransportClose { code: 0x128, reason: "alert 40".into() },
+            ScanOutcome::TransportClose { code: 0x2, reason: "internal".into() },
+            ScanOutcome::Other("tls".into()),
+        ] {
+            b.tally(&o);
+        }
+        assert_eq!(b.success, 1);
+        assert_eq!(b.no_reply, 1);
+        assert_eq!(b.stalled, 2);
+        assert_eq!(b.unreachable, 1);
+        assert_eq!(b.rate_limited, 1);
+        assert_eq!(b.crypto_0x128, 1);
+        assert_eq!(b.other_close, 1);
+        assert_eq!(b.version_mismatch, 1);
+        assert_eq!(b.other, 1);
+        assert_eq!(b.timeouts(), 5);
+        assert_eq!(b.total(), 10);
+        let report = b.render();
+        for label in ["no reply", "stalled", "unreachable", "rate limited"] {
+            assert!(report.contains(label), "render lost {label}: {report}");
+        }
+    }
+
+    /// The tentpole acceptance property: the paper-facing aggregates of a
+    /// stateful campaign are invariant under the calibrated fault plan —
+    /// same seed ⇒ same tables, with or without faults — while the
+    /// failure-mode breakdown distinguishes what actually went wrong.
+    #[test]
+    fn stateful_aggregates_invariant_under_calibrated_faults() {
+        let mut clean = Campaign::tiny();
+        clean.fault = FaultPlan::none();
+        let mut faulted = Campaign::tiny();
+        faulted.fault = FaultPlan::calibrated(50);
+        let a = clean.run_stateful();
+        let b = faulted.run_stateful();
+
+        // Discovery is identical: loss is absorbed by duplicate probes.
         assert_eq!(a.zmap_v4, b.zmap_v4);
         assert_eq!(a.zmap_v6, b.zmap_v6);
+        assert_eq!(a.tcp_open_v4, b.tcp_open_v4);
+
+        // Loss-tolerant handshakes: ≥99% of targets that established a
+        // connection on the clean network also do so at 50‰ loss.
+        let outcomes = |s: &StatefulSnapshot| -> Vec<ScanOutcome> {
+            s.quic_no_sni
+                .iter()
+                .chain(s.quic_sni.iter().map(|(_, r)| r))
+                .map(|r| r.outcome.clone())
+                .collect()
+        };
+        let (oa, ob) = (outcomes(&a), outcomes(&b));
+        assert_eq!(oa.len(), ob.len());
+        let clean_successes = oa.iter().filter(|o| **o == ScanOutcome::Success).count();
+        let kept = oa
+            .iter()
+            .zip(&ob)
+            .filter(|(x, y)| **x == ScanOutcome::Success && **y == ScanOutcome::Success)
+            .count();
+        assert!(clean_successes > 0);
+        assert!(
+            kept * 100 >= clean_successes * 99,
+            "only {kept}/{clean_successes} handshakes survived 50‰ loss"
+        );
+
+        // Paper-facing tables are byte-identical.
+        use crate::tables;
+        assert_eq!(
+            format!("{:?}", tables::table1(&a)),
+            format!("{:?}", tables::table1(&b))
+        );
+        let (t3a, t3b) = (tables::table3(&a), tables::table3(&b));
+        assert_eq!(t3a.totals, t3b.totals);
+        assert_eq!(format!("{:?}", t3a.rows), format!("{:?}", t3b.rows));
+        assert_eq!(
+            format!("{:?}", tables::table4(&a)),
+            format!("{:?}", tables::table4(&b))
+        );
+        assert_eq!(
+            format!("{:?}", tables::table6(&a, 10)),
+            format!("{:?}", tables::table6(&b, 10))
+        );
+
+        // Both runs agree on the coarse timeout mass, but only the faulted
+        // run observes all four distinct silent-failure modes.
+        let (bda, bdb) = (a.failure_breakdown(), b.failure_breakdown());
+        assert_eq!(bda.timeouts(), bdb.timeouts());
+        assert_eq!(bda.success, bdb.success);
+        assert_eq!(bda.total(), bdb.total());
+        assert_eq!(bda.unreachable, 0);
+        assert_eq!(bda.rate_limited, 0);
+        assert!(bdb.no_reply > 0, "{}", bdb.render());
+        assert!(bdb.unreachable > 0, "{}", bdb.render());
+        assert!(bdb.rate_limited > 0, "{}", bdb.render());
     }
 
     #[test]

@@ -10,5 +10,5 @@ pub mod figures;
 pub mod render;
 pub mod tables;
 
-pub use campaign::{Campaign, SniSource, StatefulSnapshot, WeeklySnapshot};
+pub use campaign::{Campaign, FailureBreakdown, SniSource, StatefulSnapshot, WeeklySnapshot};
 pub use cdf::as_rank_cdf;

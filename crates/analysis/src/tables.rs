@@ -256,7 +256,12 @@ pub struct Table3 {
 fn classify(outcome: &ScanOutcome) -> usize {
     match outcome {
         ScanOutcome::Success => 0,
-        ScanOutcome::Timeout => 1,
+        // All four fault-classified silences (no reply, stalled, ICMP
+        // unreachable, rate limited) are one "Timeout" row in the paper's
+        // taxonomy — a real scanner on a faultless path can't tell them
+        // apart, and folding them here keeps Table 3 invariant under
+        // calibrated fault injection.
+        o if o.is_timeout() => 1,
         ScanOutcome::TransportClose { code: 0x128, .. } => 2,
         ScanOutcome::VersionMismatch => 3,
         _ => 4,

@@ -82,7 +82,7 @@ fn bench_offered_versions(c: &mut Criterion) {
         .iter()
         .filter(|h| h.provider == "cloudflare")
         .take(32)
-        .map(|h| QuicTarget { addr: IpAddr::V4(h.v4.unwrap()), sni: Some("x.cf-customer.example.com".into()) })
+        .map(|h| QuicTarget::new(IpAddr::V4(h.v4.unwrap()), Some("x.cf-customer.example.com".into())))
         .collect();
     let run = |versions: Vec<Version>| {
         let mut s = QScanner::new(IpAddr::V4(Ipv4Addr::new(192, 0, 2, 11)), 7);
@@ -112,7 +112,7 @@ fn bench_sni_vs_no_sni(c: &mut Criterion) {
             i += 1;
             scanner.scan_one(
                 &net,
-                &QuicTarget { addr, sni: Some("x.cf-customer.example.com".into()) },
+                &QuicTarget::new(addr, Some("x.cf-customer.example.com".into())),
                 i,
             )
         })
@@ -120,7 +120,7 @@ fn bench_sni_vs_no_sni(c: &mut Criterion) {
     g.bench_function("without_sni", |b| {
         b.iter(|| {
             i += 1;
-            scanner.scan_one(&net, &QuicTarget { addr, sni: None }, i)
+            scanner.scan_one(&net, &QuicTarget::new(addr, None), i)
         })
     });
     g.finish();

@@ -13,9 +13,11 @@
 
 pub mod asdb;
 pub mod catalog;
+pub mod faults;
 pub mod servers;
 pub mod universe;
 
 pub use asdb::AsDb;
 pub use catalog::{Implementation, IMPLEMENTATIONS};
+pub use faults::FaultPlan;
 pub use universe::{DomainSpec, HostBehavior, HostSpec, InputList, Universe, UniverseConfig};

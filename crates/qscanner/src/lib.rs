@@ -15,24 +15,46 @@ use quic::conn::{ClientConnection, ConnectionState, HandshakeOutcome};
 use quic::tparams::TransportParameters;
 use quic::version::Version;
 use quic::ClientConfig;
-use simnet::{IpAddr, Network, SocketAddr};
+use simnet::{Duration, IpAddr, Network, SendStatus, SocketAddr};
 
 /// One stateful scan target.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct QuicTarget {
-    /// Target address (UDP 443).
+    /// Target address.
     pub addr: IpAddr,
+    /// Target UDP port. 443 for address scans; Alt-Svc discovery can
+    /// advertise any port, so nothing downstream may assume 443.
+    pub port: u16,
     /// SNI to use (None = the no-SNI scan).
     pub sni: Option<String>,
 }
 
-/// Scan outcome classification — the Table 3 rows.
+impl QuicTarget {
+    /// A target on the default HTTPS port 443.
+    pub fn new(addr: IpAddr, sni: Option<String>) -> Self {
+        QuicTarget { addr, port: 443, sni }
+    }
+
+    /// A target on an explicit port (e.g. from an Alt-Svc advertisement).
+    pub fn with_port(addr: IpAddr, port: u16, sni: Option<String>) -> Self {
+        QuicTarget { addr, port, sni }
+    }
+}
+
+/// Scan outcome classification — the Table 3 rows, with the paper's single
+/// "timeout" row split into the failure modes a lossy scan must tell apart.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ScanOutcome {
     /// Handshake (and optional HTTP request) completed.
     Success,
-    /// No response before the scanner gave up.
-    Timeout,
+    /// Total silence: not one datagram came back across all attempts.
+    NoReply,
+    /// The peer replied but the handshake never reached a verdict.
+    Stalled,
+    /// ICMP destination unreachable.
+    Unreachable,
+    /// The peer's rate limiter signalled pushback and nothing concluded.
+    RateLimited,
     /// CONNECTION_CLOSE with a transport/crypto error code.
     TransportClose {
         /// The error code (0x128 = generic crypto alert 40).
@@ -42,7 +64,7 @@ pub enum ScanOutcome {
     },
     /// No mutually supported version.
     VersionMismatch,
-    /// Everything else (TLS failure on our side, protocol errors).
+    /// Everything else (TLS failure on our side, protocol errors, panics).
     Other(String),
 }
 
@@ -50,6 +72,20 @@ impl ScanOutcome {
     /// True for the crypto error 0x128 the paper highlights.
     pub fn is_crypto_0x128(&self) -> bool {
         matches!(self, ScanOutcome::TransportClose { code: 0x128, .. })
+    }
+
+    /// True for every failure mode the paper's coarse tables count in their
+    /// single "timeout" row. Keeping all four fine-grained modes in one
+    /// coarse bucket is what makes the paper-facing aggregates invariant
+    /// under calibrated loss.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            ScanOutcome::NoReply
+                | ScanOutcome::Stalled
+                | ScanOutcome::Unreachable
+                | ScanOutcome::RateLimited
+        )
     }
 }
 
@@ -95,8 +131,18 @@ pub struct QScanner {
     pub http_head: bool,
     /// Base seed.
     pub seed: u64,
-    /// Max request/response pump rounds before declaring a timeout.
+    /// Max request/response pump rounds per attempt.
     pub max_rounds: usize,
+    /// Connection attempts per target (each from a fresh source port, with
+    /// exponential backoff in between).
+    pub max_attempts: u64,
+    /// Probe timeouts fired per attempt before declaring the peer silent.
+    pub max_ptos: u32,
+    /// HTTP request retries within an established connection.
+    pub http_retries: u32,
+    /// Total virtual-time budget per target, in microseconds, across all
+    /// attempts, probe timeouts, and backoff waits.
+    pub budget_us: u64,
 }
 
 impl QScanner {
@@ -108,6 +154,10 @@ impl QScanner {
             http_head: true,
             seed,
             max_rounds: 10,
+            max_attempts: 3,
+            max_ptos: 5,
+            http_retries: 6,
+            budget_us: 10_000_000,
         }
     }
 
@@ -136,76 +186,169 @@ impl QScanner {
         }
     }
 
-    /// Scans one target.
+    /// Scans one target: up to [`QScanner::max_attempts`] connection
+    /// attempts with exponential backoff, each attempt driving PTO-based
+    /// retransmission inside the connection, all under one virtual-time
+    /// budget. The budget is tracked locally (never read off the shared
+    /// clock, which other workers advance concurrently), so the verdict for
+    /// a target is identical at any worker count.
     pub fn scan_one(&self, net: &Network, target: &QuicTarget, index: u64) -> QuicScanResult {
-        let src = SocketAddr::new(self.source_ip, 10_000 + (index % 50_000) as u16);
-        let dst = SocketAddr::new(target.addr, 443);
-        let seed = self.seed ^ index.wrapping_mul(0xd6e8_feb8_6659_fd93);
-        let mut conn = ClientConnection::new(self.client_config(target.sni.as_deref()), seed);
+        let dst = SocketAddr::new(target.addr, target.port);
+        let rtt_us = net.rtt().as_micros().max(1);
 
         let mut result = QuicScanResult {
             addr: target.addr,
             sni: target.sni.clone(),
-            outcome: ScanOutcome::Timeout,
+            outcome: ScanOutcome::NoReply,
             version: None,
             tls: None,
             transport_params: None,
             http: None,
         };
 
-        // Handshake pump.
         let mut got_reply = false;
-        for _ in 0..self.max_rounds {
-            let out = conn.poll_transmit();
-            if out.is_empty() {
-                break;
-            }
-            for datagram in out {
-                for reply in net.udp_send(src, dst, &datagram) {
-                    got_reply = true;
-                    conn.on_datagram(&reply);
+        let mut throttled = false;
+        let mut budget_us = self.budget_us;
+        let mut backoff_us = 2 * rtt_us;
+
+        for attempt in 0..self.max_attempts.max(1) {
+            // Fresh source port per attempt: a server that closed or
+            // poisoned the previous connection keeps draining datagrams on
+            // the old flow, so the retry must look like a new client.
+            let port_slot = (index * self.max_attempts.max(1) + attempt) % 50_000;
+            let src = SocketAddr::new(self.source_ip, 10_000 + port_slot as u16);
+            let seed = self.seed
+                ^ index.wrapping_mul(0xd6e8_feb8_6659_fd93)
+                ^ attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let mut conn =
+                ClientConnection::new(self.client_config(target.sni.as_deref()), seed);
+
+            let mut pto_us = 3 * rtt_us;
+            let mut ptos = 0u32;
+            let mut rounds = 0usize;
+            let mut replies: Vec<Vec<u8>> = Vec::new();
+            let mut unreachable = false;
+
+            loop {
+                let out = conn.poll_transmit();
+                if out.is_empty() {
+                    if conn.state() != &ConnectionState::Handshaking {
+                        break;
+                    }
+                    // Peer silent with nothing queued: fire a probe timeout
+                    // (doubling, RFC 9002 §6.2) if budget remains.
+                    if ptos >= self.max_ptos || budget_us < pto_us {
+                        break;
+                    }
+                    net.clock.advance(Duration::from_micros(pto_us));
+                    budget_us -= pto_us;
+                    pto_us *= 2;
+                    ptos += 1;
+                    if !conn.on_pto() {
+                        break;
+                    }
+                    continue;
+                }
+                rounds += 1;
+                if rounds > self.max_rounds {
+                    break;
+                }
+                for datagram in out {
+                    match net.udp_send_status(src, dst, &datagram, &mut replies) {
+                        SendStatus::Unreachable => unreachable = true,
+                        SendStatus::Throttled => throttled = true,
+                        SendStatus::Sent => {}
+                    }
+                    budget_us = budget_us.saturating_sub(rtt_us);
+                    for reply in replies.drain(..) {
+                        got_reply = true;
+                        conn.on_datagram(&reply);
+                    }
+                }
+                if unreachable || conn.state() != &ConnectionState::Handshaking {
+                    break;
                 }
             }
-            if conn.state() != &ConnectionState::Handshaking {
-                break;
+
+            if unreachable {
+                result.outcome = ScanOutcome::Unreachable;
+                return result;
+            }
+
+            match conn.outcome() {
+                Some(HandshakeOutcome::Established) => {
+                    result.version = Some(conn.version());
+                    result.tls = conn.tls_info().cloned();
+                    result.transport_params = conn.peer_transport_params().cloned();
+                    if self.http_head {
+                        result.http = self.fetch_http(net, target, src, dst, &mut conn);
+                    }
+                    result.outcome = ScanOutcome::Success;
+                    return result;
+                }
+                Some(HandshakeOutcome::VersionMismatch { .. }) => {
+                    result.outcome = ScanOutcome::VersionMismatch;
+                    return result;
+                }
+                Some(HandshakeOutcome::TransportClose { code, reason }) => {
+                    result.outcome =
+                        ScanOutcome::TransportClose { code: code.0, reason: reason.clone() };
+                    return result;
+                }
+                Some(HandshakeOutcome::TlsFailure(e)) => {
+                    result.outcome = ScanOutcome::Other(format!("tls: {e}"));
+                    return result;
+                }
+                Some(HandshakeOutcome::ProtocolError(e)) => {
+                    result.outcome = ScanOutcome::Other(format!("protocol: {e}"));
+                    return result;
+                }
+                None => {
+                    // No verdict this attempt: back off and retry from a
+                    // fresh port while budget remains.
+                    if budget_us < backoff_us {
+                        break;
+                    }
+                    net.clock.advance(Duration::from_micros(backoff_us));
+                    budget_us -= backoff_us;
+                    backoff_us *= 2;
+                }
             }
         }
-        let _ = got_reply;
 
-        match conn.outcome() {
-            Some(HandshakeOutcome::Established) => {}
-            Some(HandshakeOutcome::VersionMismatch { .. }) => {
-                result.outcome = ScanOutcome::VersionMismatch;
-                return result;
-            }
-            Some(HandshakeOutcome::TransportClose { code, reason }) => {
-                result.outcome =
-                    ScanOutcome::TransportClose { code: code.0, reason: reason.clone() };
-                return result;
-            }
-            Some(HandshakeOutcome::TlsFailure(e)) => {
-                result.outcome = ScanOutcome::Other(format!("tls: {e}"));
-                return result;
-            }
-            Some(HandshakeOutcome::ProtocolError(e)) => {
-                result.outcome = ScanOutcome::Other(format!("protocol: {e}"));
-                return result;
-            }
-            None => {
-                result.outcome = ScanOutcome::Timeout;
-                return result;
-            }
-        }
+        result.outcome = if throttled && !got_reply {
+            ScanOutcome::RateLimited
+        } else if got_reply {
+            ScanOutcome::Stalled
+        } else {
+            ScanOutcome::NoReply
+        };
+        result
+    }
 
-        result.version = Some(conn.version());
-        result.tls = conn.tls_info().cloned();
-        result.transport_params = conn.peer_transport_params().cloned();
-
-        if self.http_head {
-            let authority =
-                target.sni.clone().unwrap_or_else(|| target.addr.to_string());
-            let control = conn.open_uni_stream();
-            conn.send_stream(control, &request::client_control_stream(), false);
+    /// Issues the HTTP/3 HEAD request over an established connection,
+    /// re-requesting on a fresh stream when a response is lost (stream
+    /// frames are not idempotent server-side, so retrying a request beats
+    /// retransmitting the original packet).
+    fn fetch_http(
+        &self,
+        net: &Network,
+        target: &QuicTarget,
+        src: SocketAddr,
+        dst: SocketAddr,
+        conn: &mut ClientConnection,
+    ) -> Option<Response> {
+        let authority = target.sni.clone().unwrap_or_else(|| target.addr.to_string());
+        let control = conn.open_uni_stream();
+        conn.send_stream(control, &request::client_control_stream(), false);
+        let mut replies: Vec<Vec<u8>> = Vec::new();
+        for _ in 0..self.http_retries.max(1) {
+            if !conn.handshake_done() {
+                // The server may still be waiting for a lost Finished;
+                // repeat it so the request lands on an established
+                // connection instead of being dropped pre-handshake.
+                conn.on_pto();
+            }
             let stream = conn.open_bidi_stream();
             conn.send_stream(
                 stream,
@@ -223,20 +366,53 @@ impl QScanner {
                     break;
                 }
                 for datagram in out {
-                    for reply in net.udp_send(src, dst, &datagram) {
+                    let _ = net.udp_send_status(src, dst, &datagram, &mut replies);
+                    for reply in replies.drain(..) {
                         conn.on_datagram(&reply);
                     }
                 }
             }
             for s in conn.poll_streams() {
                 if s.id == stream {
-                    result.http = request::decode_response(&s.data);
+                    if let Some(resp) = request::decode_response(&s.data) {
+                        return Some(resp);
+                    }
                 }
             }
         }
+        None
+    }
 
-        result.outcome = ScanOutcome::Success;
-        result
+    /// [`QScanner::scan_one`] with panic isolation: a poisoned target turns
+    /// into [`ScanOutcome::Other`] instead of tearing down its whole shard.
+    pub fn scan_one_isolated(
+        &self,
+        net: &Network,
+        target: &QuicTarget,
+        index: u64,
+    ) -> QuicScanResult {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.scan_one(net, target, index)
+        }));
+        match caught {
+            Ok(r) => r,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".to_string());
+                QuicScanResult {
+                    addr: target.addr,
+                    sni: target.sni.clone(),
+                    outcome: ScanOutcome::Other(format!("panic: {msg}")),
+                    version: None,
+                    tls: None,
+                    transport_params: None,
+                    http: None,
+                }
+            }
+        }
     }
 
     /// Scans targets across `workers` threads.
@@ -250,7 +426,7 @@ impl QScanner {
             return targets
                 .iter()
                 .enumerate()
-                .map(|(i, t)| self.scan_one(net, t, i as u64))
+                .map(|(i, t)| self.scan_one_isolated(net, t, i as u64))
                 .collect();
         }
         let (tx, rx) = channel::unbounded::<(usize, QuicScanResult)>();
@@ -261,7 +437,7 @@ impl QScanner {
                 scope.spawn(move || {
                     for (j, t) in slice.iter().enumerate() {
                         let index = (w * chunk + j) as u64;
-                        let r = self.scan_one(net, t, index);
+                        let r = self.scan_one_isolated(net, t, index);
                         let _ = tx.send((w * chunk + j, r));
                     }
                 });
@@ -299,8 +475,7 @@ mod tests {
             .find(|d| d.name.contains("cf-customer") && !d.v4_hosts.is_empty())
             .unwrap();
         let host = &u.hosts[domain.v4_hosts[0] as usize];
-        let target =
-            QuicTarget { addr: IpAddr::V4(host.v4.unwrap()), sni: Some(domain.name.clone()) };
+        let target = QuicTarget::new(IpAddr::V4(host.v4.unwrap()), Some(domain.name.clone()));
         let r = scanner.scan_one(&net, &target, 0);
         assert_eq!(r.outcome, ScanOutcome::Success, "{:?}", r.outcome);
         assert_eq!(r.server_header(), Some("cloudflare"));
@@ -315,7 +490,7 @@ mod tests {
         let net = u.build_network();
         let scanner = QScanner::new(vantage(), 1);
         let host = u.hosts.iter().find(|h| h.provider == "cloudflare").unwrap();
-        let target = QuicTarget { addr: IpAddr::V4(host.v4.unwrap()), sni: None };
+        let target = QuicTarget::new(IpAddr::V4(host.v4.unwrap()), None);
         let r = scanner.scan_one(&net, &target, 0);
         assert!(r.outcome.is_crypto_0x128(), "{:?}", r.outcome);
         if let ScanOutcome::TransportClose { reason, .. } = &r.outcome {
@@ -333,7 +508,7 @@ mod tests {
             .iter()
             .find(|h| h.behavior == internet::HostBehavior::GoogleRollout)
             .unwrap();
-        let target = QuicTarget { addr: IpAddr::V4(host.v4.unwrap()), sni: None };
+        let target = QuicTarget::new(IpAddr::V4(host.v4.unwrap()), None);
         let r = scanner.scan_one(&net, &target, 0);
         assert_eq!(r.outcome, ScanOutcome::VersionMismatch, "{:?}", r.outcome);
     }
@@ -344,9 +519,11 @@ mod tests {
         let net = u.build_network();
         let scanner = QScanner::new(vantage(), 1);
         let host = u.hosts.iter().find(|h| h.provider == "akamai").unwrap();
-        let target = QuicTarget { addr: IpAddr::V4(host.v4.unwrap()), sni: None };
+        let target = QuicTarget::new(IpAddr::V4(host.v4.unwrap()), None);
         let r = scanner.scan_one(&net, &target, 0);
-        assert_eq!(r.outcome, ScanOutcome::Timeout);
+        // Accepted-version Initials get pure silence from the middlebox.
+        assert_eq!(r.outcome, ScanOutcome::NoReply);
+        assert!(r.outcome.is_timeout());
     }
 
     #[test]
@@ -358,7 +535,7 @@ mod tests {
             .iter()
             .filter(|h| h.provider == "cloudflare")
             .take(80)
-            .map(|h| QuicTarget { addr: IpAddr::V4(h.v4.unwrap()), sni: None })
+            .map(|h| QuicTarget::new(IpAddr::V4(h.v4.unwrap()), None))
             .collect();
         // Fresh networks per run: server endpoints keep per-flow state.
         let seq = scanner.scan_many(&u.build_network(), &targets, 1);
@@ -368,6 +545,174 @@ mod tests {
             assert_eq!(a.addr, b.addr);
             assert_eq!(a.outcome, b.outcome);
         }
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential_under_faults() {
+        let u = universe();
+        let scanner = QScanner::new(vantage(), 1);
+        let targets: Vec<QuicTarget> = u
+            .hosts
+            .iter()
+            .filter(|h| h.v4.is_some())
+            .take(80)
+            .map(|h| QuicTarget::new(IpAddr::V4(h.v4.unwrap()), None))
+            .collect();
+        let lossy = || {
+            let mut net = u.build_network();
+            net.set_loss_permille(50);
+            net
+        };
+        let seq = scanner.scan_many(&lossy(), &targets, 1);
+        let par = scanner.scan_many(&lossy(), &targets, 4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.addr, b.addr);
+            assert_eq!(a.outcome, b.outcome, "{:?}", a.addr);
+        }
+    }
+
+    #[test]
+    fn lossy_paths_still_complete_virtually_all_handshakes() {
+        // The headline robustness criterion: at 50‰ loss on every path,
+        // ≥ 99% of handshakes against responsive hosts complete via PTO
+        // retransmission + per-target retries.
+        let u = universe();
+        let scanner = QScanner::new(vantage(), 1);
+        let targets: Vec<QuicTarget> = u
+            .hosts
+            .iter()
+            .filter(|h| h.provider == "cloudflare" && h.v4.is_some())
+            .take(80)
+            .map(|h| QuicTarget::new(IpAddr::V4(h.v4.unwrap()), None))
+            .collect();
+        assert!(targets.len() >= 40, "need a meaningful sample");
+        let baseline = scanner.scan_many(&u.build_network(), &targets, 1);
+        let mut net = u.build_network();
+        net.set_loss_permille(50);
+        let lossy = scanner.scan_many(&net, &targets, 1);
+        let mut responsive = 0u32;
+        let mut matched = 0u32;
+        for (a, b) in baseline.iter().zip(&lossy) {
+            if a.outcome == ScanOutcome::Success || a.outcome.is_crypto_0x128() {
+                responsive += 1;
+                if a.outcome == b.outcome {
+                    matched += 1;
+                }
+            }
+        }
+        assert!(responsive >= 40);
+        assert!(
+            f64::from(matched) >= 0.99 * f64::from(responsive),
+            "only {matched}/{responsive} verdicts survived 50‰ loss"
+        );
+    }
+
+    #[test]
+    fn unreachable_target_is_classified() {
+        let u = universe();
+        let mut net = u.build_network();
+        let host = u.hosts.iter().find(|h| h.v4.is_some()).unwrap();
+        let addr = IpAddr::V4(host.v4.unwrap());
+        net.set_path_profile(addr, simnet::LinkProfile::unreachable());
+        let scanner = QScanner::new(vantage(), 1);
+        let r = scanner.scan_one(&net, &QuicTarget::new(addr, None), 0);
+        assert_eq!(r.outcome, ScanOutcome::Unreachable);
+        assert!(r.outcome.is_timeout());
+    }
+
+    #[test]
+    fn rate_limited_silent_host_is_classified() {
+        // A middlebox that never answers, behind an aggressive rate
+        // limiter: the first datagrams vanish silently, the rest bounce
+        // with pushback — distinguishable from plain silence.
+        let u = universe();
+        let mut net = u.build_network();
+        let host = u
+            .hosts
+            .iter()
+            .find(|h| h.behavior == internet::HostBehavior::VnOnly && h.v4.is_some())
+            .unwrap();
+        let addr = IpAddr::V4(host.v4.unwrap());
+        net.set_path_profile(
+            addr,
+            simnet::LinkProfile {
+                rate_limit: Some(simnet::ReplyRateLimit { burst: 2, drop_permille: 1000 }),
+                ..simnet::LinkProfile::ideal()
+            },
+        );
+        let scanner = QScanner::new(vantage(), 1);
+        let r = scanner.scan_one(&net, &QuicTarget::new(addr, None), 0);
+        assert_eq!(r.outcome, ScanOutcome::RateLimited);
+        assert!(r.outcome.is_timeout());
+    }
+
+    #[test]
+    fn garbage_replies_classify_as_stalled() {
+        use simnet::{Network, ServiceCtx, UdpService};
+        struct Garbage;
+        impl UdpService for Garbage {
+            fn on_datagram(&mut self, ctx: &mut ServiceCtx<'_>, _from: SocketAddr, _d: &[u8]) {
+                ctx.reply(vec![0x40, 0xde, 0xad, 0xbe, 0xef]);
+            }
+        }
+        let mut net = Network::new(9);
+        let addr = IpAddr::V4(Ipv4Addr::new(10, 9, 9, 9));
+        net.bind_udp(SocketAddr::new(addr, 443), Box::new(Garbage));
+        let scanner = QScanner::new(vantage(), 1);
+        let r = scanner.scan_one(&net, &QuicTarget::new(addr, None), 0);
+        assert_eq!(r.outcome, ScanOutcome::Stalled);
+        assert!(r.outcome.is_timeout());
+    }
+
+    #[test]
+    fn non_default_port_is_honored() {
+        use simnet::{Network, ServiceCtx, UdpService};
+        struct RecordPort(std::sync::Arc<std::sync::atomic::AtomicU16>);
+        impl UdpService for RecordPort {
+            fn on_datagram(&mut self, _ctx: &mut ServiceCtx<'_>, _from: SocketAddr, _d: &[u8]) {
+                self.0.store(8443, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+        let hit = std::sync::Arc::new(std::sync::atomic::AtomicU16::new(0));
+        let mut net = Network::new(9);
+        let addr = IpAddr::V4(Ipv4Addr::new(10, 9, 9, 10));
+        net.bind_udp(SocketAddr::new(addr, 8443), Box::new(RecordPort(hit.clone())));
+        let scanner = QScanner::new(vantage(), 1);
+        // Alt-Svc style target on 8443: the scanner must not probe 443.
+        let r = scanner.scan_one(&net, &QuicTarget::with_port(addr, 8443, None), 0);
+        assert_eq!(hit.load(std::sync::atomic::Ordering::Relaxed), 8443);
+        assert_eq!(r.outcome, ScanOutcome::NoReply); // service stays silent
+    }
+
+    #[test]
+    fn panicking_target_is_isolated_in_scan_many() {
+        use simnet::{Network, ServiceCtx, UdpService};
+        struct Poison;
+        impl UdpService for Poison {
+            fn on_datagram(&mut self, _ctx: &mut ServiceCtx<'_>, _from: SocketAddr, _d: &[u8]) {
+                panic!("poisoned host");
+            }
+        }
+        struct Silent;
+        impl UdpService for Silent {
+            fn on_datagram(&mut self, _ctx: &mut ServiceCtx<'_>, _f: SocketAddr, _d: &[u8]) {}
+        }
+        let mut net = Network::new(9);
+        let bad = IpAddr::V4(Ipv4Addr::new(10, 9, 9, 11));
+        let ok = IpAddr::V4(Ipv4Addr::new(10, 9, 9, 12));
+        net.bind_udp(SocketAddr::new(bad, 443), Box::new(Poison));
+        net.bind_udp(SocketAddr::new(ok, 443), Box::new(Silent));
+        let scanner = QScanner::new(vantage(), 1);
+        let targets = vec![QuicTarget::new(bad, None), QuicTarget::new(ok, None)];
+        let results = scanner.scan_many(&net, &targets, 1);
+        assert_eq!(results.len(), 2);
+        match &results[0].outcome {
+            ScanOutcome::Other(msg) => assert!(msg.contains("panic"), "{msg}"),
+            other => panic!("expected panic capture, got {other:?}"),
+        }
+        // The shard survived: the second target still got scanned.
+        assert_eq!(results[1].outcome, ScanOutcome::NoReply);
     }
 }
 
@@ -391,7 +736,10 @@ pub mod export {
     pub fn csv_row(r: &QuicScanResult) -> String {
         let (outcome, code) = match &r.outcome {
             ScanOutcome::Success => ("success".to_string(), String::new()),
-            ScanOutcome::Timeout => ("timeout".to_string(), String::new()),
+            ScanOutcome::NoReply => ("no_reply".to_string(), String::new()),
+            ScanOutcome::Stalled => ("stalled".to_string(), String::new()),
+            ScanOutcome::Unreachable => ("unreachable".to_string(), String::new()),
+            ScanOutcome::RateLimited => ("rate_limited".to_string(), String::new()),
             ScanOutcome::TransportClose { code, .. } => {
                 ("close".to_string(), format!("0x{code:x}"))
             }
@@ -464,6 +812,16 @@ pub mod export {
             let mismatch =
                 QuicScanResult { outcome: ScanOutcome::VersionMismatch, ..base.clone() };
             assert!(csv_row(&mismatch).contains("version_mismatch"));
+
+            for (outcome, label) in [
+                (ScanOutcome::NoReply, "no_reply"),
+                (ScanOutcome::Stalled, "stalled"),
+                (ScanOutcome::Unreachable, "unreachable"),
+                (ScanOutcome::RateLimited, "rate_limited"),
+            ] {
+                let r = QuicScanResult { outcome, ..base.clone() };
+                assert!(csv_row(&r).contains(label), "{label}");
+            }
         }
     }
 }

@@ -3,8 +3,10 @@
 //! Drives the handshake of Figure 2 in the paper: the Initial flight
 //! (a CRYPTO frame carrying the Client Hello, padded to 1200 bytes) out, optional Version Negotiation handling, server Initial +
 //! Handshake flight in, client Finished out, then 1-RTT stream data for
-//! HTTP/3. No loss recovery: the simulated network is lossless by default
-//! and scan outcomes treat silence as a timeout, exactly like the scanner.
+//! HTTP/3. Loss recovery is timer-driven but externally clocked: the scan
+//! loop watches the virtual clock and calls [`ClientConnection::on_pto`]
+//! when the peer goes silent, which retransmits the flight the peer is most
+//! likely missing (RFC 9002-style probe timeouts without owning a timer).
 
 use std::collections::{BTreeMap, HashMap};
 
@@ -186,6 +188,10 @@ pub struct ClientConnection {
     /// DCID dictated by a Retry packet (replaces the random one).
     retry_dcid: Option<ConnectionId>,
     retry_seen: bool,
+    /// Client Hello bytes of the current attempt, kept for PTO retransmits.
+    ch_bytes: Vec<u8>,
+    /// Handshake-level crypto (Finished) already sent, for PTO retransmits.
+    sent_finished: Vec<u8>,
     rng: StdRng,
 }
 
@@ -222,6 +228,8 @@ impl ClientConnection {
             retry_token: Vec::new(),
             retry_dcid: None,
             retry_seen: false,
+            ch_bytes: Vec::new(),
+            sent_finished: Vec::new(),
             rng,
         };
         conn.vn_retries_left = conn.config.max_vn_retries;
@@ -261,19 +269,26 @@ impl ClientConnection {
         tls_cfg.quic_transport_params = Some(tp.encode());
         let (tls, ch_bytes) = ClientHandshake::start(tls_cfg, &mut self.rng);
         self.tls = tls;
+        self.ch_bytes = ch_bytes;
+        self.sent_finished.clear();
+        self.push_initial_ch();
+    }
 
-        // CRYPTO[CH] padded so the datagram reaches 1200 bytes (RFC 9000
-        // §14.1 — the padding requirement the paper's §3.1 experiment tests).
+    /// Queues an Initial[CRYPTO(CH)] datagram padded so it reaches 1200
+    /// bytes (RFC 9000 §14.1 — the padding requirement the paper's §3.1
+    /// experiment tests). Used for the first flight and for every PTO
+    /// retransmission: keeping retransmits at full size keeps the server's
+    /// 3× anti-amplification budget (RFC 9000 §8.1) open.
+    fn push_initial_ch(&mut self) {
         let mut payload = Writer::new();
-        Frame::Crypto { offset: 0, data: ch_bytes }.encode(&mut payload);
+        Frame::Crypto { offset: 0, data: self.ch_bytes.clone() }.encode(&mut payload);
         let keys = self.seal_initial.as_ref().expect("initial keys installed");
-        let token = self.retry_token.clone();
         let probe = seal_long(
             PacketType::Initial,
-            version,
+            self.version,
             &self.dcid,
             &self.scid,
-            &token,
+            &self.retry_token,
             self.next_pn[SPACE_INITIAL],
             payload.as_slice(),
             keys,
@@ -282,10 +297,10 @@ impl ClientConnection {
         let deficit = 1200usize.saturating_sub(probe.len());
         let datagram = seal_long(
             PacketType::Initial,
-            version,
+            self.version,
             &self.dcid,
             &self.scid,
-            &token,
+            &self.retry_token,
             self.next_pn[SPACE_INITIAL],
             payload.as_slice(),
             keys,
@@ -293,6 +308,48 @@ impl ClientConnection {
         );
         self.next_pn[SPACE_INITIAL] += 1;
         self.tx.push(datagram);
+    }
+
+    /// Probe-timeout hook for the externally clocked scan loop: called when
+    /// the peer has gone silent for a PTO interval, it retransmits the
+    /// flight the peer is most likely missing and returns whether anything
+    /// was queued (RFC 9002 §6.2 adapted to the sans-IO design).
+    pub fn on_pto(&mut self) -> bool {
+        if self.state == ConnectionState::Closed {
+            return false;
+        }
+        if self.sent_finished.is_empty() {
+            // Still waiting for (part of) the server's flight: repeat the
+            // padded Initial[CRYPTO(CH)]; a deduplicating server answers a
+            // repeated CH by re-sending its whole flight.
+            self.push_initial_ch();
+            return true;
+        }
+        if !self.handshake_done {
+            // Our Finished — or the server's HANDSHAKE_DONE — was lost.
+            let Some(keys) = self.seal_handshake.as_ref() else {
+                return false;
+            };
+            let mut payload = Writer::new();
+            let largest = self.largest_recv[SPACE_HANDSHAKE].unwrap_or(0);
+            Frame::Ack { largest, delay: 0, ranges: vec![(0, largest)] }.encode(&mut payload);
+            Frame::Crypto { offset: 0, data: self.sent_finished.clone() }.encode(&mut payload);
+            let pkt = seal_long(
+                PacketType::Handshake,
+                self.version,
+                &self.dcid,
+                &self.scid,
+                b"",
+                self.next_pn[SPACE_HANDSHAKE],
+                payload.as_slice(),
+                keys,
+                20,
+            );
+            self.next_pn[SPACE_HANDSHAKE] += 1;
+            self.tx.push(pkt);
+            return true;
+        }
+        false
     }
 
     /// The version currently being attempted.
@@ -631,6 +688,7 @@ impl ClientConnection {
         }
         for (lvl, bytes) in pending {
             if lvl == Level::Handshake {
+                self.sent_finished.extend_from_slice(&bytes);
                 Frame::Crypto { offset: 0, data: bytes }.encode(&mut handshake_payload);
             }
         }

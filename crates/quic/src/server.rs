@@ -134,6 +134,16 @@ struct ServerConn {
     seal_app: Option<PacketKeys>,
     next_pn: [u64; 3],
     largest_recv: [Option<u64>; 3],
+    /// Contiguous CRYPTO bytes already fed to TLS, per space. Retransmitted
+    /// (fully duplicate) crypto is never re-fed — it means the client lost
+    /// our answering flight, which we re-send from the caches below.
+    crypto_consumed: [u64; 3],
+    /// Cached server flight (Initial[ACK,CRYPTO(SH)] ++ Handshake datagrams).
+    flight_cache: Vec<Vec<u8>>,
+    /// Cached post-handshake packet (HANDSHAKE_DONE + server streams).
+    post_cache: Option<Vec<u8>>,
+    /// Cached CONNECTION_CLOSE, re-sent while draining (RFC 9000 §10.2.3).
+    close_cache: Option<Vec<u8>>,
     established: bool,
     closed: bool,
     handler: Box<dyn StreamHandler>,
@@ -308,6 +318,10 @@ impl ServerConn {
             seal_app: None,
             next_pn: [0; 3],
             largest_recv: [None; 3],
+            crypto_consumed: [0; 3],
+            flight_cache: Vec::new(),
+            post_cache: None,
+            close_cache: None,
             established: false,
             closed: false,
             handler,
@@ -316,7 +330,10 @@ impl ServerConn {
 
     fn on_datagram(&mut self, datagram: &[u8], config: &EndpointConfig) -> Vec<Vec<u8>> {
         if self.closed {
-            return Vec::new();
+            // Draining: keep answering with the close so a client whose
+            // first copy was lost still learns the outcome (RFC 9000
+            // §10.2.3 allows responding to late packets with the close).
+            return self.close_cache.iter().cloned().collect();
         }
         // First Initial: derive keys from the client's DCID and instantiate
         // the real TLS engine (the placeholder in `new` avoids an Option).
@@ -382,10 +399,22 @@ impl ServerConn {
         let mut stream_out: Vec<StreamSend> = Vec::new();
         for frame in frames {
             match frame {
-                Frame::Crypto { offset: _, data } => {
+                Frame::Crypto { offset, data } => {
                     // Handshake messages fit in single CRYPTO frames in this
-                    // stack (client CH < 1 KiB), so no reassembly needed.
-                    match self.tls.on_handshake_data(level, &data) {
+                    // stack (client CH < 1 KiB), so no reassembly is needed —
+                    // but retransmitted crypto (a PTO'd CH or Finished, or a
+                    // network-duplicated datagram) must not be re-fed to TLS.
+                    // A full duplicate instead means the client is missing
+                    // our answering flight: re-send it from the cache.
+                    let consumed = self.crypto_consumed[space];
+                    let end = offset + data.len() as u64;
+                    if end <= consumed {
+                        self.resend_cached(space, out);
+                        continue;
+                    }
+                    let skip = consumed.saturating_sub(offset) as usize;
+                    self.crypto_consumed[space] = end;
+                    match self.tls.on_handshake_data(level, &data[skip..]) {
                         Ok(events) => self.apply_tls_events(events, config, out),
                         Err(e) => {
                             self.send_close(e, config, out);
@@ -442,6 +471,7 @@ impl ServerConn {
 
         // Server flight: Initial[ACK, CRYPTO(SH)] ++ Handshake[CRYPTO(EE..FIN)].
         if let Some(sh) = initial_crypto {
+            let mut flight_dgrams: Vec<Vec<u8>> = Vec::new();
             let mut datagram = Vec::new();
             let mut payload = Writer::new();
             let largest = self.largest_recv[0].unwrap_or(0);
@@ -484,12 +514,15 @@ impl ServerConn {
                     if datagram.len() + pkt.len() <= 1452 {
                         datagram.extend(pkt);
                     } else {
-                        out.push(std::mem::take(&mut datagram));
+                        flight_dgrams.push(std::mem::take(&mut datagram));
                         datagram = pkt;
                     }
                 }
             }
-            out.push(datagram);
+            flight_dgrams.push(datagram);
+            out.extend(flight_dgrams.iter().cloned());
+            // Keep the flight so a retransmitted CH can trigger a re-send.
+            self.flight_cache = flight_dgrams;
         }
 
         if completed && !self.established {
@@ -508,7 +541,19 @@ impl ServerConn {
             }
             let pkt = seal_short(&self.client_cid, self.next_pn[2], payload.as_slice(), keys);
             self.next_pn[2] += 1;
+            self.post_cache = Some(pkt.clone());
             out.push(pkt);
+        }
+    }
+
+    /// Answers retransmitted crypto with the cached flight the client is
+    /// evidently missing: a repeated CH gets the whole server flight, a
+    /// repeated Finished gets the HANDSHAKE_DONE packet.
+    fn resend_cached(&mut self, space: usize, out: &mut Vec<Vec<u8>>) {
+        match space {
+            0 => out.extend(self.flight_cache.iter().cloned()),
+            1 => out.extend(self.post_cache.iter().cloned()),
+            _ => {}
         }
     }
 
@@ -579,6 +624,7 @@ impl ServerConn {
             0,
         );
         self.next_pn[0] += 1;
+        self.close_cache = Some(pkt.clone());
         out.push(pkt);
     }
 }

@@ -52,7 +52,8 @@ fn wants(args: &Args, name: &str) -> bool {
 fn main() {
     let args = parse_args();
     std::fs::create_dir_all(&args.out).expect("create output directory");
-    let campaign = Campaign { size_factor: args.factor, seed: 0x9000, workers: args.workers };
+    let campaign =
+        Campaign { size_factor: args.factor, seed: 0x9000, workers: args.workers, ..Default::default() };
 
     eprintln!("[repro] size factor {} — running stateful campaign (week 18)…", args.factor);
     let snap = campaign.run_stateful();

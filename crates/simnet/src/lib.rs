@@ -4,9 +4,10 @@
 //! to a [`Network`] instead — a registry of simulated hosts offering UDP and
 //! TCP services. The design is sans-IO and synchronous (following the
 //! smoltcp guide): a scanner *sends* a datagram and receives the induced
-//! response datagrams in the same call, with packet loss decided by a
-//! deterministic per-packet hash so that results are reproducible even under
-//! multi-threaded scanning.
+//! response datagrams in the same call. Impairments (loss, duplication,
+//! reordering, jitter, MTU black holes, ICMP unreachable, rate limiting)
+//! come from per-path [`LinkProfile`]s whose decisions are keyed on per-flow
+//! sequence numbers, so results are bit-reproducible at any worker count.
 //!
 //! Time is virtual: [`clock::SimClock`] is a monotonically advancing counter
 //! that the drivers move forward; nothing reads the wall clock.
@@ -14,10 +15,12 @@
 pub mod addr;
 pub mod clock;
 pub mod fasthash;
+pub mod fault;
 pub mod net;
 pub mod stats;
 
 pub use addr::{IpAddr, Prefix, SocketAddr};
 pub use clock::{Duration, SimClock, SimTime};
+pub use fault::{LinkProfile, ReplyRateLimit, SendStatus};
 pub use net::{Network, ServiceCtx, TcpAction, TcpFactory, TcpHandler, TcpStream, UdpService};
 pub use stats::{LocalStats, NetStats};

@@ -1,19 +1,25 @@
 //! The simulated network core: a registry of UDP services and TCP service
-//! factories keyed by socket address, with deterministic loss and latency.
+//! factories keyed by socket address, with deterministic faults and latency.
 //!
 //! Build phase: `&mut Network` + [`Network::bind_udp`] / [`Network::bind_tcp`].
 //! Scan phase: shared `&Network`; per-service `Mutex`es make concurrent
 //! scanning safe while keeping each simulated host single-threaded, like a
 //! real single-homed server process.
-
-use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! Impairments come from per-destination [`LinkProfile`]s (see
+//! [`crate::fault`]); every fault decision is keyed on a per-flow sequence
+//! number, so results are identical at any worker count.
 
 use parking_lot::Mutex;
 
-use crate::addr::SocketAddr;
+use crate::addr::{IpAddr, SocketAddr};
 use crate::clock::{Duration, SimClock, SimTime};
+use crate::fault::{self, LinkProfile, SendStatus};
 use crate::fasthash::FastMap;
 use crate::stats::{LocalStats, NetStats};
+
+/// Shard count for the per-flow sequence counters (power of two).
+const FLOW_SHARDS: usize = 16;
 
 /// Handler for datagrams arriving at one bound UDP socket. One instance
 /// serves every client flow (real servers demultiplex by connection ID).
@@ -65,31 +71,64 @@ pub struct Network {
     pub clock: SimClock,
     /// Traffic counters.
     pub stats: NetStats,
-    loss_permille: u32,
+    default_profile: LinkProfile,
+    profiles: FastMap<IpAddr, LinkProfile>,
+    /// Per-flow datagram counters feeding the fault draws. Sharded by flow
+    /// hash so parallel shards rarely contend; each flow is driven by one
+    /// thread, so its sequence is deterministic regardless of interleaving.
+    flow_seq: [Mutex<FastMap<(SocketAddr, SocketAddr), u64>>; FLOW_SHARDS],
     rtt: Duration,
     seed: u64,
-    drop_counter: AtomicU64,
 }
 
 impl Network {
-    /// Creates a loss-free network with a 20 ms simulated RTT.
+    /// Creates a fault-free network with a 20 ms simulated RTT.
     pub fn new(seed: u64) -> Self {
         Network {
             udp: FastMap::default(),
             tcp: FastMap::default(),
             clock: SimClock::new(),
             stats: NetStats::new(),
-            loss_permille: 0,
+            default_profile: LinkProfile::ideal(),
+            profiles: FastMap::default(),
+            flow_seq: std::array::from_fn(|_| Mutex::new(FastMap::default())),
             rtt: Duration::from_millis(20),
             seed,
-            drop_counter: AtomicU64::new(0),
         }
     }
 
-    /// Sets the packet loss rate in permille (0–1000) for UDP datagrams.
+    /// Sets the packet loss rate in permille (0–1000) for UDP datagrams on
+    /// every path without its own profile (sugar for editing the default
+    /// [`LinkProfile`]).
     pub fn set_loss_permille(&mut self, permille: u32) {
         assert!(permille <= 1000);
-        self.loss_permille = permille;
+        self.default_profile.loss_permille = permille;
+    }
+
+    /// Replaces the default [`LinkProfile`] applied to every destination
+    /// without a per-path override.
+    pub fn set_default_profile(&mut self, profile: LinkProfile) {
+        self.default_profile = profile;
+    }
+
+    /// Attaches a [`LinkProfile`] to one destination IP, overriding the
+    /// default for every flow towards it.
+    pub fn set_path_profile(&mut self, dst: IpAddr, profile: LinkProfile) {
+        self.profiles.insert(dst, profile);
+    }
+
+    /// The profile governing traffic towards `dst`.
+    pub fn path_profile(&self, dst: IpAddr) -> &LinkProfile {
+        self.profiles.get(&dst).unwrap_or(&self.default_profile)
+    }
+
+    /// Next per-flow sequence number (0-based) for fault draws.
+    fn next_flow_seq(&self, src: SocketAddr, dst: SocketAddr, flow: u64) -> u64 {
+        let mut shard = self.flow_seq[(flow as usize) & (FLOW_SHARDS - 1)].lock();
+        let seq = shard.entry((src, dst)).or_insert(0);
+        let cur = *seq;
+        *seq += 1;
+        cur
     }
 
     /// Sets the simulated round-trip time charged per UDP exchange.
@@ -127,19 +166,6 @@ impl Network {
         self.tcp.contains_key(&at)
     }
 
-    fn dropped(&self) -> bool {
-        if self.loss_permille == 0 {
-            return false;
-        }
-        // Deterministic in aggregate: splitmix over a global packet counter.
-        let n = self.drop_counter.fetch_add(1, Ordering::Relaxed);
-        let mut z = self.seed ^ n.wrapping_mul(0x9e3779b97f4a7c15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-        z ^= z >> 31;
-        (z % 1000) < u64::from(self.loss_permille)
-    }
-
     /// Sends one UDP datagram from `src` to `dst` and returns the responses
     /// the destination service emitted (empty when the port is unbound, the
     /// packet was lost, or the service stayed silent). Advances the clock by
@@ -165,6 +191,21 @@ impl Network {
         local.flush(&self.stats);
     }
 
+    /// [`Network::udp_send_into`] returning the sender-observable
+    /// [`SendStatus`], with accounting flushed to the shared stats.
+    pub fn udp_send_status(
+        &self,
+        src: SocketAddr,
+        dst: SocketAddr,
+        payload: &[u8],
+        out: &mut Vec<Vec<u8>>,
+    ) -> SendStatus {
+        let mut local = LocalStats::new();
+        let status = self.udp_send_faulted(src, dst, payload, out, &mut local);
+        local.flush(&self.stats);
+        status
+    }
+
     /// [`Network::udp_send_into`] with caller-held traffic accounting: counts
     /// go into `local` instead of the shared [`NetStats`] atomics, so
     /// parallel scan shards pay no shared-cache-line traffic per probe. The
@@ -177,23 +218,78 @@ impl Network {
         out: &mut Vec<Vec<u8>>,
         local: &mut LocalStats,
     ) {
+        let _ = self.udp_send_faulted(src, dst, payload, out, local);
+    }
+
+    /// [`Network::udp_send_accounted`] that also reports what the sender
+    /// could observe about the attempt (see [`SendStatus`]): silent loss and
+    /// unbound ports look like [`SendStatus::Sent`] with no replies, while
+    /// ICMP-unreachable signaling and rate-limiter pushback are surfaced.
+    pub fn udp_send_faulted(
+        &self,
+        src: SocketAddr,
+        dst: SocketAddr,
+        payload: &[u8],
+        out: &mut Vec<Vec<u8>>,
+        local: &mut LocalStats,
+    ) -> SendStatus {
         out.clear();
         local.record_send(payload.len());
-        if self.dropped() {
+        let profile = *self.path_profile(dst.ip);
+
+        // Fast path: unimpaired link — no flow-counter lookup, no draws.
+        if profile.is_ideal() {
+            if self.deliver(src, dst, payload, out, false) {
+                self.clock.advance(self.rtt);
+            }
+            for r in out.iter() {
+                local.record_recv(r.len());
+            }
+            return SendStatus::Sent;
+        }
+
+        if profile.unreachable {
             local.record_drop();
-            return;
+            return SendStatus::Unreachable;
         }
-        let Some(service) = self.udp.get(&dst) else {
-            return;
-        };
-        {
-            let mut guard = service.lock();
-            let mut ctx = ServiceCtx { now: self.clock.now(), replies: out };
-            guard.on_datagram(&mut ctx, src, payload);
+        if profile.mtu.is_some_and(|mtu| payload.len() > mtu) {
+            // PMTUD black hole: indistinguishable from loss for the sender.
+            local.record_drop();
+            return SendStatus::Sent;
         }
-        self.clock.advance(self.rtt);
+
+        let flow = fault::flow_hash(src, dst);
+        let seq = self.next_flow_seq(src, dst, flow);
+
+        if let Some(rl) = profile.rate_limit {
+            if seq >= u64::from(rl.burst)
+                && fault::hit(self.seed, flow, seq, fault::SALT_RATE, rl.drop_permille)
+            {
+                local.record_drop();
+                return SendStatus::Throttled;
+            }
+        }
+        if fault::hit(self.seed, flow, seq, fault::SALT_FWD_LOSS, profile.loss_permille) {
+            local.record_drop();
+            return SendStatus::Sent;
+        }
+
+        let duplicated = fault::hit(self.seed, flow, seq, fault::SALT_DUP, profile.dup_permille);
+        if self.deliver(src, dst, payload, out, duplicated) {
+            let jitter = Duration::from_micros(if profile.jitter_us > 0 {
+                fault::draw(self.seed, flow, seq, fault::SALT_JITTER) % (profile.jitter_us + 1)
+            } else {
+                0
+            });
+            self.clock.advance(self.rtt + jitter);
+        }
+
+        // Reply-path loss: one independent draw per reply datagram.
+        let mut idx = 0u64;
         out.retain(|r| {
-            if self.dropped() {
+            let salt = fault::SALT_REPLY_LOSS ^ idx.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            idx += 1;
+            if fault::hit(self.seed, flow, seq, salt, profile.loss_permille) {
                 local.record_drop();
                 false
             } else {
@@ -201,6 +297,35 @@ impl Network {
                 true
             }
         });
+        if out.len() >= 2
+            && fault::hit(self.seed, flow, seq, fault::SALT_REORDER, profile.reorder_permille)
+        {
+            out.swap(0, 1);
+        }
+        SendStatus::Sent
+    }
+
+    /// Delivers `payload` to the service bound at `dst` (twice when
+    /// `duplicate`), queuing replies into `out`; returns whether a service
+    /// was bound there.
+    fn deliver(
+        &self,
+        src: SocketAddr,
+        dst: SocketAddr,
+        payload: &[u8],
+        out: &mut Vec<Vec<u8>>,
+        duplicate: bool,
+    ) -> bool {
+        let Some(service) = self.udp.get(&dst) else {
+            return false;
+        };
+        let mut guard = service.lock();
+        let mut ctx = ServiceCtx { now: self.clock.now(), replies: out };
+        guard.on_datagram(&mut ctx, src, payload);
+        if duplicate {
+            guard.on_datagram(&mut ctx, src, payload);
+        }
+        true
     }
 
     /// Opens a TCP connection; `None` models RST/closed port. The returned
@@ -356,6 +481,148 @@ mod tests {
         }
         // Each exchange survives with p ≈ 0.7² = 0.49.
         assert!((700..1300).contains(&got), "got {got}");
+    }
+
+    #[test]
+    fn loss_is_per_flow_deterministic() {
+        // The same flow sees the same fate sequence on two identically
+        // seeded networks, even when another flow's traffic interleaves
+        // differently — the property that makes faults worker-count-proof.
+        let run = |interleave: bool| {
+            let mut net = Network::new(11);
+            net.bind_udp(addr(1, 443), Box::new(Echo));
+            net.set_loss_permille(400);
+            let mut fates = Vec::new();
+            for i in 0..200 {
+                if interleave {
+                    net.udp_send(addr(8, 7000), addr(1, 443), b"noise");
+                    if i % 3 == 0 {
+                        net.udp_send(addr(7, 7001), addr(1, 443), b"more");
+                    }
+                }
+                fates.push(!net.udp_send(addr(9, 1), addr(1, 443), b"x").is_empty());
+            }
+            fates
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn unreachable_paths_signal_icmp() {
+        let mut net = Network::new(5);
+        net.bind_udp(addr(1, 443), Box::new(Echo));
+        net.set_path_profile(addr(1, 0).ip, crate::fault::LinkProfile::unreachable());
+        let mut out = Vec::new();
+        let status = net.udp_send_status(addr(9, 1), addr(1, 443), b"x", &mut out);
+        assert_eq!(status, crate::fault::SendStatus::Unreachable);
+        assert!(out.is_empty());
+        // Other destinations keep the default (ideal) profile.
+        net.bind_udp(addr(2, 443), Box::new(Echo));
+        let status = net.udp_send_status(addr(9, 1), addr(2, 443), b"ab", &mut out);
+        assert_eq!(status, crate::fault::SendStatus::Sent);
+        assert_eq!(out, vec![b"ba".to_vec()]);
+    }
+
+    #[test]
+    fn mtu_black_holes_oversized_datagrams() {
+        let mut net = Network::new(5);
+        net.bind_udp(addr(1, 443), Box::new(Echo));
+        net.set_path_profile(
+            addr(1, 0).ip,
+            crate::fault::LinkProfile { mtu: Some(4), ..crate::fault::LinkProfile::ideal() },
+        );
+        let mut out = Vec::new();
+        // Over the MTU: silently dropped, indistinguishable from loss.
+        let status = net.udp_send_status(addr(9, 1), addr(1, 443), b"12345", &mut out);
+        assert_eq!(status, crate::fault::SendStatus::Sent);
+        assert!(out.is_empty());
+        // At the MTU: delivered.
+        net.udp_send_status(addr(9, 1), addr(1, 443), b"1234", &mut out);
+        assert_eq!(out, vec![b"4321".to_vec()]);
+    }
+
+    #[test]
+    fn rate_limit_admits_burst_then_throttles() {
+        let mut net = Network::new(5);
+        net.bind_udp(addr(1, 443), Box::new(Echo));
+        net.set_path_profile(
+            addr(1, 0).ip,
+            crate::fault::LinkProfile {
+                rate_limit: Some(crate::fault::ReplyRateLimit { burst: 8, drop_permille: 1000 }),
+                ..crate::fault::LinkProfile::ideal()
+            },
+        );
+        let mut out = Vec::new();
+        let mut statuses = Vec::new();
+        for _ in 0..16 {
+            statuses.push(net.udp_send_status(addr(9, 1), addr(1, 443), b"x", &mut out));
+        }
+        assert!(statuses[..8].iter().all(|s| *s == crate::fault::SendStatus::Sent));
+        assert!(statuses[8..].iter().all(|s| *s == crate::fault::SendStatus::Throttled));
+        // A fresh flow gets its own burst allowance.
+        let status = net.udp_send_status(addr(9, 2), addr(1, 443), b"x", &mut out);
+        assert_eq!(status, crate::fault::SendStatus::Sent);
+    }
+
+    #[test]
+    fn duplication_delivers_twice() {
+        let mut net = Network::new(5);
+        net.bind_udp(addr(1, 443), Box::new(Echo));
+        net.set_path_profile(
+            addr(1, 0).ip,
+            crate::fault::LinkProfile {
+                dup_permille: 1000,
+                ..crate::fault::LinkProfile::ideal()
+            },
+        );
+        let replies = net.udp_send(addr(9, 1), addr(1, 443), b"ab");
+        assert_eq!(replies, vec![b"ba".to_vec(), b"ba".to_vec()]);
+    }
+
+    #[test]
+    fn reordering_swaps_the_first_two_replies() {
+        struct TwoReplies;
+        impl UdpService for TwoReplies {
+            fn on_datagram(&mut self, ctx: &mut ServiceCtx<'_>, _from: SocketAddr, _d: &[u8]) {
+                ctx.reply(b"first".to_vec());
+                ctx.reply(b"second".to_vec());
+            }
+        }
+        let mut net = Network::new(5);
+        net.bind_udp(addr(1, 443), Box::new(TwoReplies));
+        net.set_path_profile(
+            addr(1, 0).ip,
+            crate::fault::LinkProfile {
+                reorder_permille: 1000,
+                ..crate::fault::LinkProfile::ideal()
+            },
+        );
+        let replies = net.udp_send(addr(9, 1), addr(1, 443), b"x");
+        assert_eq!(replies, vec![b"second".to_vec(), b"first".to_vec()]);
+    }
+
+    #[test]
+    fn jitter_advances_the_clock_deterministically() {
+        let elapsed = |seed: u64| {
+            let mut net = Network::new(seed);
+            net.bind_udp(addr(1, 443), Box::new(Echo));
+            net.set_path_profile(
+                addr(1, 0).ip,
+                crate::fault::LinkProfile {
+                    jitter_us: 5000,
+                    ..crate::fault::LinkProfile::ideal()
+                },
+            );
+            for _ in 0..10 {
+                net.udp_send(addr(9, 1), addr(1, 443), b"x");
+            }
+            net.clock.now().since(SimTime::ZERO).as_micros()
+        };
+        let base = 10 * 20_000; // 10 exchanges × 20 ms RTT
+        let a = elapsed(1);
+        assert!(a > base && a <= base + 10 * 5000, "elapsed {a}");
+        assert_eq!(a, elapsed(1));
+        assert_ne!(a, elapsed(2));
     }
 }
 

@@ -11,8 +11,12 @@
 //! buffer. Because the probe sent for index `i` depends only on `i` and the
 //! seed (never on thread identity or timing), and shard results are merged
 //! back in index order, a scan yields byte-identical results for any worker
-//! count on a loss-free network. (With simulated loss enabled the drop
-//! pattern depends on global packet order and thus on thread interleaving.)
+//! count. This holds even with simulated impairments: [`simnet`] keys every
+//! fault decision on per-flow sequence numbers, not global packet order, so
+//! thread interleaving cannot change which probes are lost. For lossy
+//! sweeps, [`ZmapConfig::probe_repeat`] re-probes unanswered targets and
+//! deduplicates replies, trading bandwidth for coverage (§3.1 discusses the
+//! equivalent trade-off for real ZMap sweeps).
 
 use std::time::Instant;
 
@@ -40,6 +44,11 @@ pub struct ZmapConfig {
     /// Sweep shard threads (1 = serial). Results are identical for any
     /// value; only wall-clock time changes.
     pub workers: usize,
+    /// Probes sent per target (1 = classic single-shot sweep). Values above
+    /// one enable duplicate-probe mode: each unanswered target is re-probed
+    /// up to this many times and at most one reply per target is recorded,
+    /// recovering hosts whose first probe or reply was lost.
+    pub probe_repeat: usize,
 }
 
 impl ZmapConfig {
@@ -52,6 +61,7 @@ impl ZmapConfig {
             seed: 0x5eed,
             blocklist: Blocklist::new(),
             workers: 1,
+            probe_repeat: 1,
         }
     }
 }
@@ -284,12 +294,18 @@ impl ZmapScanner {
                     blocked += 1;
                     continue;
                 }
-                bucket.acquire(&net.clock);
-                probes += 1;
                 let dst = SocketAddr::new(addr, self.config.port);
-                if let Some(hit) = module.probe_with(&mut scratch, net, self.config.source, dst, i)
-                {
-                    results.push(hit);
+                // Duplicate-probe mode: re-probe until the target answers
+                // or the repeat budget runs out; record at most one reply.
+                for _ in 0..self.config.probe_repeat.max(1) {
+                    bucket.acquire(&net.clock);
+                    probes += 1;
+                    if let Some(hit) =
+                        module.probe_with(&mut scratch, net, self.config.source, dst, i)
+                    {
+                        results.push(hit);
+                        break;
+                    }
                 }
             }
             scratch.flush_stats(net);
@@ -337,12 +353,16 @@ impl ZmapScanner {
                     blocked += 1;
                     continue;
                 }
-                bucket.acquire(&net.clock);
-                probes += 1;
                 let dst = SocketAddr::new(ip, self.config.port);
-                if let Some(hit) = module.probe_with(&mut scratch, net, self.config.source, dst, i)
-                {
-                    results.push(hit);
+                for _ in 0..self.config.probe_repeat.max(1) {
+                    bucket.acquire(&net.clock);
+                    probes += 1;
+                    if let Some(hit) =
+                        module.probe_with(&mut scratch, net, self.config.source, dst, i)
+                    {
+                        results.push(hit);
+                        break;
+                    }
                 }
             }
             scratch.flush_stats(net);
@@ -388,10 +408,14 @@ impl ZmapScanner {
                     blocked += 1;
                     continue;
                 }
-                bucket.acquire(&net.clock);
-                probes += 1;
-                if crate::modules::tcp_syn::probe(net, SocketAddr::new(addr, self.config.port)) {
-                    open.push(addr);
+                let dst = SocketAddr::new(addr, self.config.port);
+                for _ in 0..self.config.probe_repeat.max(1) {
+                    bucket.acquire(&net.clock);
+                    probes += 1;
+                    if crate::modules::tcp_syn::probe(net, dst) {
+                        open.push(addr);
+                        break;
+                    }
                 }
             }
             let stats = ShardStats {
@@ -575,6 +599,70 @@ mod tests {
         for workers in [3usize, 8] {
             assert_eq!(scanner_with(workers).scan_v6(&net, &targets, &module), v6_serial);
             assert_eq!(scanner_with(workers).scan_tcp_syn(&net, &prefixes), tcp_serial);
+        }
+    }
+
+    /// Duplicate-probe mode recovers hosts whose single probe (or reply)
+    /// would be lost, and deduplicates: each responsive host appears once.
+    #[test]
+    fn duplicate_probes_recover_lossy_targets() {
+        let hosts: Vec<u8> = (1..=40).collect();
+        let build_net = |loss: u32| {
+            let mut net = Network::new(9);
+            net.set_loss_permille(loss);
+            for &last in &hosts {
+                net.bind_udp(
+                    SocketAddr::new(Ipv4Addr::new(10, 52, 0, last), 443),
+                    quic_host(vec![Version::V1]),
+                );
+            }
+            net
+        };
+        let module = QuicVnModule::new(7);
+        let prefixes = [Prefix::new(Ipv4Addr::new(10, 52, 0, 0), 24)];
+        let scan = |loss: u32, repeat: usize| {
+            let mut cfg = ZmapConfig::new(SocketAddr::new(Ipv4Addr::new(192, 0, 2, 9), 50000));
+            cfg.probe_repeat = repeat;
+            let mut hits =
+                ZmapScanner::new(cfg).scan_v4(&build_net(loss), &prefixes, &module);
+            hits.sort_by_key(|h| h.addr);
+            hits
+        };
+        // 30% loss on each direction (~51% per-attempt miss): a single-shot
+        // sweep misses many hosts; six probes per target recover them all.
+        let single = scan(300, 1);
+        assert!(single.len() < hosts.len(), "single-shot found {}", single.len());
+        let repeated = scan(300, 6);
+        assert_eq!(repeated.len(), hosts.len());
+        // Dedup: every host exactly once, same as a loss-free single sweep.
+        assert_eq!(repeated, scan(0, 1));
+    }
+
+    /// Per-flow fault keying makes lossy sweeps worker-count invariant.
+    #[test]
+    fn lossy_parallel_sweep_matches_serial() {
+        let build_net = || {
+            let mut net = Network::new(11);
+            net.set_loss_permille(250);
+            for last in [3u8, 40, 99, 150, 201, 250] {
+                net.bind_udp(
+                    SocketAddr::new(Ipv4Addr::new(10, 53, 0, last), 443),
+                    quic_host(vec![Version::DRAFT_29]),
+                );
+            }
+            net
+        };
+        let module = QuicVnModule::new(13);
+        let prefixes = [Prefix::new(Ipv4Addr::new(10, 53, 0, 0), 24)];
+        let scan = |workers: usize| {
+            let mut cfg = ZmapConfig::new(SocketAddr::new(Ipv4Addr::new(192, 0, 2, 9), 50000));
+            cfg.workers = workers;
+            cfg.probe_repeat = 2;
+            ZmapScanner::new(cfg).scan_v4(&build_net(), &prefixes, &module)
+        };
+        let serial = scan(1);
+        for workers in [2usize, 4, 8] {
+            assert_eq!(scan(workers), serial, "workers={workers}");
         }
     }
 

@@ -14,10 +14,19 @@ pub struct TokenBucket {
 }
 
 impl TokenBucket {
-    /// A bucket allowing `rate_pps` packets per (virtual) second.
+    /// A bucket allowing `rate_pps` packets per (virtual) second, with a
+    /// burst allowance of a tenth of a second's budget.
     pub fn new(rate_pps: u64) -> Self {
-        assert!(rate_pps > 0);
-        TokenBucket { rate_pps, burst: rate_pps / 10 + 1, tokens: 0.0, last_us: 0 }
+        Self::with_burst(rate_pps, rate_pps / 10 + 1)
+    }
+
+    /// A bucket with an explicit burst capacity. `rate_pps` must be positive
+    /// (a zero-rate bucket could never issue a token and `acquire` would
+    /// divide by zero computing the wait); `burst` is clamped to at least 1
+    /// so a token can exist at all.
+    pub fn with_burst(rate_pps: u64, burst: u64) -> Self {
+        assert!(rate_pps > 0, "token bucket rate must be positive");
+        TokenBucket { rate_pps, burst: burst.max(1), tokens: 0.0, last_us: 0 }
     }
 
     /// Takes one token, advancing the clock when the bucket is dry.
@@ -88,5 +97,68 @@ mod tests {
         }
         // 100 packets within the burst: barely any virtual time consumed.
         assert!(clock.now().0 - before < 100_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_is_rejected() {
+        TokenBucket::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_with_burst_is_rejected() {
+        TokenBucket::with_burst(0, 100);
+    }
+
+    /// A full bucket admits exactly `burst` packets instantly — the burst
+    /// is a hard capacity, not a soft target — and the next acquire waits a
+    /// full token period.
+    #[test]
+    fn burst_equals_capacity_exactly() {
+        let clock = SimClock::new();
+        let mut bucket = TokenBucket::with_burst(1000, 50);
+        clock.advance(Duration::from_secs(10)); // over-fill: caps at burst
+        let before = clock.now().0;
+        for _ in 0..50 {
+            bucket.acquire(&clock);
+        }
+        assert_eq!(clock.now().0, before, "burst drained without waiting");
+        bucket.acquire(&clock);
+        let waited = clock.now().0 - before;
+        // 51st packet pays one token period (1 ms at 1k pps).
+        assert!((900..=1100).contains(&waited), "waited {waited} µs");
+    }
+
+    /// Zero burst is clamped to one token of capacity, so the bucket still
+    /// paces instead of deadlocking with a forever-empty bucket.
+    #[test]
+    fn zero_burst_is_clamped_to_one() {
+        let clock = SimClock::new();
+        let mut bucket = TokenBucket::with_burst(1000, 0);
+        clock.advance(Duration::from_secs(1));
+        for _ in 0..10 {
+            bucket.acquire(&clock);
+        }
+        // One token from the clamped capacity, nine paced at 1 ms each.
+        let elapsed = clock.now().0 - 1_000_000;
+        assert!((8_000..=10_000).contains(&elapsed), "elapsed {elapsed} µs");
+    }
+
+    /// The fractional carry never lets the bucket exceed its burst capacity:
+    /// an arbitrarily long idle period still admits only `burst` packets
+    /// for free.
+    #[test]
+    fn idle_time_cannot_exceed_burst() {
+        let clock = SimClock::new();
+        let mut bucket = TokenBucket::with_burst(100, 5);
+        clock.advance(Duration::from_secs(3600));
+        let before = clock.now().0;
+        for _ in 0..5 {
+            bucket.acquire(&clock);
+        }
+        assert_eq!(clock.now().0, before);
+        bucket.acquire(&clock);
+        assert!(clock.now().0 > before, "sixth packet must be paced");
     }
 }

@@ -52,7 +52,7 @@ fn main() {
     let targets: Vec<QuicTarget> = hits
         .iter()
         .filter(|h| h.versions.iter().any(|v| v.qscanner_compatible()))
-        .map(|h| QuicTarget { addr: h.addr.ip, sni: None })
+        .map(|h| QuicTarget::new(h.addr.ip, None))
         .collect();
     let results = qscanner.scan_many(&network, &targets, 4);
 
@@ -60,11 +60,11 @@ fn main() {
     for r in &results {
         let label = match &r.outcome {
             ScanOutcome::Success => "success",
-            ScanOutcome::Timeout => "timeout",
+            o if o.is_timeout() => "timeout",
             ScanOutcome::TransportClose { code: 0x128, .. } => "crypto error 0x128",
             ScanOutcome::TransportClose { .. } => "other close",
             ScanOutcome::VersionMismatch => "version mismatch",
-            ScanOutcome::Other(_) => "other",
+            _ => "other",
         };
         *outcomes.entry(label).or_default() += 1;
     }

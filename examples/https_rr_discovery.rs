@@ -61,7 +61,7 @@ fn main() {
         for hint in r.https_ipv4_hints() {
             total += 1;
             let target =
-                QuicTarget { addr: IpAddr::V4(hint), sni: Some(r.domain.clone()) };
+                QuicTarget::new(IpAddr::V4(hint), Some(r.domain.clone()));
             let result = scanner.scan_one(&network, &target, total as u64);
             if result.outcome == ScanOutcome::Success {
                 success += 1;

@@ -34,7 +34,7 @@ fn main() {
     let scanner = QScanner::new(IpAddr::V4(Ipv4Addr::new(192, 0, 2, 1)), 1);
 
     // With SNI: the handshake completes and every property is extracted.
-    let result = scanner.scan_one(&network, &QuicTarget { addr, sni: Some(domain.name.clone()) }, 0);
+    let result = scanner.scan_one(&network, &QuicTarget::new(addr, Some(domain.name.clone())), 0);
     println!("\n--- with SNI ---");
     println!("outcome: {:?}", result.outcome);
     if let Some(tls) = &result.tls {
@@ -58,7 +58,7 @@ fn main() {
     // Without SNI: Cloudflare requires SNI — the handshake dies with the
     // generic crypto error 0x128, the most common error of the paper's
     // stateful scans (Table 3).
-    let result = scanner.scan_one(&network, &QuicTarget { addr, sni: None }, 1);
+    let result = scanner.scan_one(&network, &QuicTarget::new(addr, None), 1);
     println!("\n--- without SNI ---");
     println!("outcome: {:?}", result.outcome);
 }

@@ -45,7 +45,7 @@ fn qscanner_interops_with_every_implementation() {
         });
         let r = scanner.scan_one(
             &net,
-            &QuicTarget { addr: IpAddr::V4(host.v4.unwrap()), sni },
+            &QuicTarget::new(IpAddr::V4(host.v4.unwrap()), sni),
             idx as u64,
         );
         if r.outcome != ScanOutcome::Success {
@@ -72,7 +72,7 @@ fn retry_validating_hosts_are_scannable() {
         let sni = format!("svc.{}", host.cert_names[0].trim_start_matches("*."));
         let r = scanner.scan_one(
             &net,
-            &QuicTarget { addr: IpAddr::V4(host.v4.unwrap()), sni: Some(sni) },
+            &QuicTarget::new(IpAddr::V4(host.v4.unwrap()), Some(sni)),
             i as u64,
         );
         assert_eq!(

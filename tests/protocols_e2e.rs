@@ -25,10 +25,8 @@ fn quic_scan_through_universe_extracts_everything() {
     // Scan one Facebook edge POP: the fingerprint combination the paper
     // uses to identify off-net deployments (§5.2).
     let pop = u.hosts.iter().find(|h| h.provider == "facebook-pop").unwrap();
-    let target = QuicTarget {
-        addr: IpAddr::V4(pop.v4.unwrap()),
-        sni: Some("scontent-1.fbcdn.example.net".into()),
-    };
+    let target =
+        QuicTarget::new(IpAddr::V4(pop.v4.unwrap()), Some("scontent-1.fbcdn.example.net".into()));
     let r = scanner.scan_one(&net, &target, 0);
     assert_eq!(r.outcome, ScanOutcome::Success, "{:?}", r.outcome);
     assert_eq!(r.server_header(), Some("proxygen-bolt"));
@@ -40,7 +38,7 @@ fn quic_scan_through_universe_extracts_everything() {
     let gvs = u.hosts.iter().find(|h| h.provider == "google-pop").unwrap();
     let r = scanner.scan_one(
         &net,
-        &QuicTarget { addr: IpAddr::V4(gvs.v4.unwrap()), sni: None },
+        &QuicTarget::new(IpAddr::V4(gvs.v4.unwrap()), None),
         1,
     );
     assert_eq!(r.outcome, ScanOutcome::Success);
@@ -67,7 +65,7 @@ fn tls_and_quic_see_same_certificate_with_sni() {
     let addr = IpAddr::V4(host.v4.unwrap());
 
     let qscan = QScanner::new(vantage(), 5);
-    let q = qscan.scan_one(&net, &QuicTarget { addr, sni: Some(domain.name.clone()) }, 0);
+    let q = qscan.scan_one(&net, &QuicTarget::new(addr, Some(domain.name.clone())), 0);
     assert_eq!(q.outcome, ScanOutcome::Success);
 
     let goscan = Goscanner::new(vantage(), 5);
@@ -102,7 +100,7 @@ fn google_no_sni_divergence_between_stacks() {
 
     // QUIC without SNI: valid wildcard certificate.
     let qscan = QScanner::new(vantage(), 6);
-    let q = qscan.scan_one(&net, &QuicTarget { addr, sni: None }, 0);
+    let q = qscan.scan_one(&net, &QuicTarget::new(addr, None), 0);
     assert_eq!(q.outcome, ScanOutcome::Success);
     let q_cert = &q.tls.unwrap().certificates[0];
     assert!(!q_cert.is_self_signed());
@@ -119,7 +117,7 @@ fn google_no_sni_divergence_between_stacks() {
 }
 
 #[test]
-fn packet_loss_turns_successes_into_timeouts() {
+fn packet_loss_is_absorbed_until_retries_are_exhausted() {
     let u = Universe::generate(UniverseConfig::tiny(18));
     let mut net = u.build_network();
     net.set_loss_permille(1000); // total loss
@@ -127,27 +125,45 @@ fn packet_loss_turns_successes_into_timeouts() {
     let scanner = QScanner::new(vantage(), 7);
     let r = scanner.scan_one(
         &net,
-        &QuicTarget { addr: IpAddr::V4(host.v4.unwrap()), sni: None },
+        &QuicTarget::new(IpAddr::V4(host.v4.unwrap()), None),
         0,
     );
-    assert_eq!(r.outcome, ScanOutcome::Timeout);
+    assert_eq!(r.outcome, ScanOutcome::NoReply);
+    assert!(r.outcome.is_timeout());
 
-    // Partial loss: a fraction still succeeds across many attempts.
+    // Moderate loss: PTO retransmission plus the per-target retry budget
+    // absorb it — every attempt still completes the handshake.
     let mut net = u.build_network();
     net.set_loss_permille(200);
     let mut successes = 0;
     for i in 0..40 {
         let r = scanner.scan_one(
             &net,
-            &QuicTarget { addr: IpAddr::V4(host.v4.unwrap()), sni: None },
+            &QuicTarget::new(IpAddr::V4(host.v4.unwrap()), None),
             i + 1,
         );
         if r.outcome == ScanOutcome::Success {
             successes += 1;
         }
     }
-    assert!(successes > 5, "only {successes}/40 under 20% loss");
-    assert!(successes < 40, "loss must hurt some attempts");
+    assert_eq!(successes, 40, "only {successes}/40 under 20% loss");
+
+    // Catastrophic loss exhausts the retry budget: failures reappear and
+    // every one of them is classified as a timeout, never a crash.
+    let mut net = u.build_network();
+    net.set_loss_permille(950);
+    let mut timeouts = 0;
+    for i in 0..10 {
+        let r = scanner.scan_one(
+            &net,
+            &QuicTarget::new(IpAddr::V4(host.v4.unwrap()), None),
+            i + 100,
+        );
+        if r.outcome.is_timeout() {
+            timeouts += 1;
+        }
+    }
+    assert!(timeouts > 0, "95% loss must exceed the retry budget");
 }
 
 #[test]
@@ -175,7 +191,7 @@ fn corrupted_datagrams_do_not_crash_the_server() {
     let scanner = QScanner::new(IpAddr::V4(Ipv4Addr::new(192, 0, 2, 78)), 12);
     let r = scanner.scan_one(
         &net,
-        &QuicTarget { addr: addr.ip, sni: Some("robust.example".into()) },
+        &QuicTarget::new(addr.ip, Some("robust.example".into())),
         9,
     );
     assert_eq!(r.outcome, ScanOutcome::Success, "{:?}", r.outcome);
@@ -217,10 +233,7 @@ fn h3_head_request_roundtrips_through_all_layers() {
     let scanner = QScanner::new(vantage(), 20);
     let r = scanner.scan_one(
         &net,
-        &QuicTarget {
-            addr: IpAddr::V4(host.v4.unwrap()),
-            sni: Some(domain.name.clone()),
-        },
+        &QuicTarget::new(IpAddr::V4(host.v4.unwrap()), Some(domain.name.clone())),
         0,
     );
     assert_eq!(r.outcome, ScanOutcome::Success);
