@@ -16,6 +16,7 @@ use internet::FaultPlan;
 use qscanner::{QScanner, QuicScanResult, QuicTarget, ScanOutcome};
 use simnet::addr::Ipv4Addr;
 use simnet::{IpAddr, Network};
+use telemetry::{EventKind, Telemetry, TraceCtx};
 use zmapq::modules::quic_vn::{QuicVnModule, VnResult};
 use zmapq::{ZmapConfig, ZmapScanner};
 
@@ -248,6 +249,7 @@ impl StatefulSnapshot {
 }
 
 /// Campaign runner.
+#[derive(Clone)]
 pub struct Campaign {
     /// Population multiplier (1.0 = default scale).
     pub size_factor: f64,
@@ -259,11 +261,23 @@ pub struct Campaign {
     /// `SIM_LOSS_PERMILLE` (the CI loss-matrix hook); the paper-facing
     /// aggregates are calibrated to be invariant under any such plan.
     pub fault: FaultPlan,
+    /// Optional telemetry. When set, stateful QUIC scans run traced (qlog
+    /// events into the sink, counters into the registry), ZMap sweeps
+    /// submit shard metrics, and `run_stateful` opens with a `plan_summary`
+    /// event. Never changes scan behaviour: results are byte-identical with
+    /// telemetry on or off.
+    pub telemetry: Option<Telemetry>,
 }
 
 impl Default for Campaign {
     fn default() -> Self {
-        Campaign { size_factor: 1.0, seed: 0x9000, workers: 8, fault: FaultPlan::from_env() }
+        Campaign {
+            size_factor: 1.0,
+            seed: 0x9000,
+            workers: 8,
+            fault: FaultPlan::from_env(),
+            telemetry: None,
+        }
     }
 }
 
@@ -274,7 +288,13 @@ fn vantage_v4() -> IpAddr {
 impl Campaign {
     /// A reduced-size campaign for tests.
     pub fn tiny() -> Self {
-        Campaign { size_factor: 0.05, seed: 0x9000, workers: 4, fault: FaultPlan::from_env() }
+        Campaign {
+            size_factor: 0.05,
+            seed: 0x9000,
+            workers: 4,
+            fault: FaultPlan::from_env(),
+            telemetry: None,
+        }
     }
 
     fn universe(&self, week: u32) -> Universe {
@@ -299,7 +319,38 @@ impl Campaign {
         // hosts; five duplicate probes push the per-host miss probability
         // below 1e-5 at 50‰ loss, keeping hit sets identical to a clean run.
         cfg.probe_repeat = if self.fault.loss_permille > 0 { 5 } else { 1 };
+        cfg.metrics = self.telemetry.as_ref().map(|t| t.metrics.clone());
         ZmapScanner::new(cfg)
+    }
+
+    /// Emits the `plan_summary` event describing this campaign's fault plan
+    /// (flow `u64::MAX` keeps it clear of per-target flows).
+    fn emit_plan_summary(&self, universe: &Universe, week: u32) {
+        let Some(tel) = &self.telemetry else {
+            return;
+        };
+        let mut ctx = TraceCtx::new(u64::MAX, "campaign".to_string(), Some(week));
+        ctx.record(EventKind::PlanSummary {
+            loss_permille: self.fault.loss_permille,
+            middlebox_rate_limit: self.fault.middlebox_rate_limit,
+            ghost_unreachable: self.fault.ghost_unreachable,
+            paths_overridden: self.fault.planned_path_overrides(universe),
+        });
+        tel.emit_all(&ctx.finish());
+    }
+
+    /// Runs a QUIC scan traced or untraced depending on configuration.
+    fn scan_quic(
+        &self,
+        qscan: &QScanner,
+        net: &Network,
+        targets: &[QuicTarget],
+        week: u32,
+    ) -> Vec<QuicScanResult> {
+        match &self.telemetry {
+            Some(tel) => qscan.scan_many_traced(net, targets, self.workers, Some(week), tel),
+            None => qscan.scan_many(net, targets, self.workers),
+        }
     }
 
     /// Runs the stateless weekly scans for `week`.
@@ -374,6 +425,7 @@ impl Campaign {
         let week = 18;
         let universe = self.universe(week);
         let net = self.network(&universe);
+        self.emit_plan_summary(&universe, week);
         let zscanner = self.zmap();
         let module = QuicVnModule::new(self.seed);
 
@@ -560,13 +612,13 @@ impl Campaign {
             .filter(|h| compatible(&h.versions))
             .map(|h| QuicTarget::new(h.addr.ip, None))
             .collect();
-        let quic_no_sni = qscan.scan_many(&net, &no_sni_quic_targets, self.workers);
+        let quic_no_sni = self.scan_quic(&qscan, &net, &no_sni_quic_targets, week);
 
         let sni_quic_targets: Vec<QuicTarget> = sni_pairs
             .iter()
             .map(|((addr, domain), _)| QuicTarget::new(*addr, Some(domain.clone())))
             .collect();
-        let sni_results = qscan.scan_many(&net, &sni_quic_targets, self.workers);
+        let sni_results = self.scan_quic(&qscan, &net, &sni_quic_targets, week);
         let quic_sni: Vec<(u8, QuicScanResult)> = sni_pairs
             .into_iter()
             .map(|(_, mask)| mask)

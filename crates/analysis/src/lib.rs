@@ -9,6 +9,7 @@ pub mod export;
 pub mod figures;
 pub mod render;
 pub mod tables;
+pub mod telemetry_audit;
 
 pub use campaign::{Campaign, FailureBreakdown, SniSource, StatefulSnapshot, WeeklySnapshot};
 pub use cdf::as_rank_cdf;

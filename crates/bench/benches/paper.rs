@@ -16,7 +16,7 @@ use analysis::{figures, tables};
 const BENCH_FACTOR: f64 = 0.02;
 
 fn campaign() -> Campaign {
-    Campaign { size_factor: BENCH_FACTOR, seed: 0x9000, workers: 4, fault: Default::default() }
+    Campaign { size_factor: BENCH_FACTOR, seed: 0x9000, workers: 4, fault: Default::default(), telemetry: None }
 }
 
 fn stateful() -> &'static StatefulSnapshot {

@@ -3,14 +3,22 @@
 //! three (the engine guarantees worker-count-independent output); only the
 //! wall-clock time changes, so the ratio between the `workers_*` lines is
 //! the parallel speedup.
+//!
+//! The `telemetry` group measures the tracing tax on stateful scans: the
+//! same target list handshaked untraced (`scan_many`) and traced
+//! (`scan_many_traced` into a zero-capacity ring, i.e. full event buffering
+//! and metric accounting but no retention). `scripts/bench_scan.sh` turns
+//! the pair into targets-per-second figures in BENCH_scan.json.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
+use qscanner::{QScanner, QuicTarget};
 use quic::server::{Endpoint, EndpointConfig, StreamHandler, StreamSend};
 use quic::version::Version;
 use simnet::addr::{Ipv4Addr, Prefix};
-use simnet::{Network, ServiceCtx, SocketAddr, UdpService};
+use simnet::{IpAddr, Network, ServiceCtx, SocketAddr, UdpService};
 use std::sync::Arc;
+use telemetry::{RingSink, Telemetry};
 use zmapq::modules::quic_vn::QuicVnModule;
 use zmapq::{ZmapConfig, ZmapScanner};
 
@@ -80,5 +88,44 @@ fn bench_sweep(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_sweep);
+/// Stateful-scan targets per bench iteration. `bench_scan.sh` divides this
+/// by the measured time to report targets/s — keep the two in sync.
+const TELEMETRY_BENCH_TARGETS: u32 = 64;
+
+fn bench_telemetry(c: &mut Criterion) {
+    let (net, _) = sweep_network();
+    // One QUIC host sits on every 64th address of 10.64.0.0/16.
+    let targets: Vec<QuicTarget> = (0..TELEMETRY_BENCH_TARGETS)
+        .map(|i| {
+            let addr = Ipv4Addr::from(u32::from(Ipv4Addr::new(10, 64, 0, 0)) + i * 64);
+            QuicTarget::new(IpAddr::V4(addr), None)
+        })
+        .collect();
+    let scanner = QScanner::new(IpAddr::V4(Ipv4Addr::new(192, 0, 2, 9)), 0x9000);
+
+    let expected: Vec<_> =
+        scanner.scan_many(&net, &targets, 1).into_iter().map(|r| r.outcome).collect();
+    let tel = Telemetry::with_sink(Arc::new(RingSink::new(0)));
+    let traced: Vec<_> = scanner
+        .scan_many_traced(&net, &targets, 1, Some(18), &tel)
+        .into_iter()
+        .map(|r| r.outcome)
+        .collect();
+    assert_eq!(traced, expected, "tracing changed scan results");
+
+    let mut g = c.benchmark_group("telemetry");
+    g.sample_size(20);
+    g.bench_function("scan_untraced", |b| {
+        b.iter(|| scanner.scan_many(&net, &targets, 1).len())
+    });
+    g.bench_function("scan_traced", |b| {
+        b.iter(|| {
+            let tel = Telemetry::with_sink(Arc::new(RingSink::new(0)));
+            scanner.scan_many_traced(&net, &targets, 1, Some(18), &tel).len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweep, bench_telemetry);
 criterion_main!(benches);

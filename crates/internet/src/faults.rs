@@ -74,6 +74,33 @@ impl FaultPlan {
         self.loss_permille == 0 && !self.middlebox_rate_limit && !self.ghost_unreachable
     }
 
+    /// Number of per-path profile overrides [`FaultPlan::apply`] installs on
+    /// `universe` (rate-limited middlebox addresses plus unreachable
+    /// ghosts). Reported in the campaign's `plan_summary` telemetry event.
+    pub fn planned_path_overrides(&self, universe: &Universe) -> u64 {
+        if self.is_none() {
+            return 0;
+        }
+        let mut n = 0u64;
+        if self.middlebox_rate_limit {
+            let mut nth = 0usize;
+            for h in &universe.hosts {
+                if h.behavior != HostBehavior::VnOnly {
+                    continue;
+                }
+                nth += 1;
+                if nth % 2 != 0 {
+                    continue;
+                }
+                n += u64::from(h.v4.is_some()) + u64::from(h.v6.is_some());
+            }
+        }
+        if self.ghost_unreachable {
+            n += universe.domains.iter().map(|d| d.ghost_v4.len() as u64).sum::<u64>();
+        }
+        n
+    }
+
     /// Installs the plan's profiles on `net` for `universe`'s topology.
     pub fn apply(&self, universe: &Universe, net: &mut Network) {
         if self.is_none() {
@@ -191,6 +218,34 @@ mod tests {
         for g in ghosts {
             assert!(net.path_profile(IpAddr::V4(*g)).unreachable);
         }
+    }
+
+    #[test]
+    fn planned_overrides_match_installed_profiles() {
+        let u = tiny_universe();
+        assert_eq!(FaultPlan::none().planned_path_overrides(&u), 0);
+        let plan = FaultPlan::calibrated(50);
+        let planned = plan.planned_path_overrides(&u);
+        assert!(planned > 0);
+        // Count what apply actually installs: rate-limited middlebox paths
+        // plus unreachable ghost paths.
+        let net = u.build_network_with_faults(&plan);
+        let mut installed = 0u64;
+        for h in &u.hosts {
+            for ip in [h.v4.map(IpAddr::V4), h.v6.map(IpAddr::V6)].into_iter().flatten() {
+                if net.path_profile(ip).rate_limit.is_some() {
+                    installed += 1;
+                }
+            }
+        }
+        for d in &u.domains {
+            for g in &d.ghost_v4 {
+                if net.path_profile(IpAddr::V4(*g)).unreachable {
+                    installed += 1;
+                }
+            }
+        }
+        assert_eq!(planned, installed);
     }
 
     #[test]

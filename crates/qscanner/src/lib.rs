@@ -5,456 +5,32 @@
 //! transport parameters, TLS properties and HTTP/3 headers. Scans
 //! parallelize across worker threads (crossbeam channels distribute
 //! targets), mirroring the paper's parallelized quic-go-based scanner.
+//!
+//! Module layout:
+//! - [`outcome`]: targets, the [`ScanOutcome`] taxonomy, result records;
+//! - [`retry`]: the per-target budget and PTO/backoff schedules;
+//! - [`scan`]: the [`QScanner`] driver, untraced and traced;
+//! - [`export`]: CSV result export.
+//!
+//! Traced scans (`scan_many_traced`) emit qlog-style events through the
+//! `telemetry` crate; event streams are byte-identical at any worker count
+//! because timestamps are flow-local virtual time and the driver merges
+//! per-target event lists in scan-index order.
 
-use crossbeam::channel;
+pub mod export;
+pub mod outcome;
+pub mod retry;
+pub mod scan;
 
-use h3::qpack::Header;
-use h3::request::{self, Response};
-use qtls::client::PeerTlsInfo;
-use quic::conn::{ClientConnection, ConnectionState, HandshakeOutcome};
-use quic::tparams::TransportParameters;
-use quic::version::Version;
-use quic::ClientConfig;
-use simnet::{Duration, IpAddr, Network, SendStatus, SocketAddr};
-
-/// One stateful scan target.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct QuicTarget {
-    /// Target address.
-    pub addr: IpAddr,
-    /// Target UDP port. 443 for address scans; Alt-Svc discovery can
-    /// advertise any port, so nothing downstream may assume 443.
-    pub port: u16,
-    /// SNI to use (None = the no-SNI scan).
-    pub sni: Option<String>,
-}
-
-impl QuicTarget {
-    /// A target on the default HTTPS port 443.
-    pub fn new(addr: IpAddr, sni: Option<String>) -> Self {
-        QuicTarget { addr, port: 443, sni }
-    }
-
-    /// A target on an explicit port (e.g. from an Alt-Svc advertisement).
-    pub fn with_port(addr: IpAddr, port: u16, sni: Option<String>) -> Self {
-        QuicTarget { addr, port, sni }
-    }
-}
-
-/// Scan outcome classification — the Table 3 rows, with the paper's single
-/// "timeout" row split into the failure modes a lossy scan must tell apart.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ScanOutcome {
-    /// Handshake (and optional HTTP request) completed.
-    Success,
-    /// Total silence: not one datagram came back across all attempts.
-    NoReply,
-    /// The peer replied but the handshake never reached a verdict.
-    Stalled,
-    /// ICMP destination unreachable.
-    Unreachable,
-    /// The peer's rate limiter signalled pushback and nothing concluded.
-    RateLimited,
-    /// CONNECTION_CLOSE with a transport/crypto error code.
-    TransportClose {
-        /// The error code (0x128 = generic crypto alert 40).
-        code: u64,
-        /// The implementation-specific reason phrase.
-        reason: String,
-    },
-    /// No mutually supported version.
-    VersionMismatch,
-    /// Everything else (TLS failure on our side, protocol errors, panics).
-    Other(String),
-}
-
-impl ScanOutcome {
-    /// True for the crypto error 0x128 the paper highlights.
-    pub fn is_crypto_0x128(&self) -> bool {
-        matches!(self, ScanOutcome::TransportClose { code: 0x128, .. })
-    }
-
-    /// True for every failure mode the paper's coarse tables count in their
-    /// single "timeout" row. Keeping all four fine-grained modes in one
-    /// coarse bucket is what makes the paper-facing aggregates invariant
-    /// under calibrated loss.
-    pub fn is_timeout(&self) -> bool {
-        matches!(
-            self,
-            ScanOutcome::NoReply
-                | ScanOutcome::Stalled
-                | ScanOutcome::Unreachable
-                | ScanOutcome::RateLimited
-        )
-    }
-}
-
-/// Everything recorded about one target.
-#[derive(Debug, Clone)]
-pub struct QuicScanResult {
-    /// Target address.
-    pub addr: IpAddr,
-    /// SNI used.
-    pub sni: Option<String>,
-    /// Outcome classification.
-    pub outcome: ScanOutcome,
-    /// Negotiated QUIC version (on success).
-    pub version: Option<Version>,
-    /// Peer TLS properties (on success).
-    pub tls: Option<PeerTlsInfo>,
-    /// Peer transport parameters (on success).
-    pub transport_params: Option<TransportParameters>,
-    /// HTTP/3 HEAD response (on success when HTTP is enabled).
-    pub http: Option<Response>,
-}
-
-impl QuicScanResult {
-    /// Shortcut: the HTTP `Server` header.
-    pub fn server_header(&self) -> Option<&str> {
-        self.http.as_ref().and_then(|r| r.header("server"))
-    }
-
-    /// Shortcut: the transport-parameter configuration key (Fig. 9).
-    pub fn tp_config_key(&self) -> Option<String> {
-        self.transport_params.as_ref().map(|tp| tp.config_key())
-    }
-}
-
-/// The scanner.
-pub struct QScanner {
-    /// Vantage source address.
-    pub source_ip: IpAddr,
-    /// Versions offered, most preferred first (the QScanner of the paper
-    /// supported draft 29/32/34, later v1).
-    pub versions: Vec<Version>,
-    /// Send an HTTP/3 HEAD request after the handshake.
-    pub http_head: bool,
-    /// Base seed.
-    pub seed: u64,
-    /// Max request/response pump rounds per attempt.
-    pub max_rounds: usize,
-    /// Connection attempts per target (each from a fresh source port, with
-    /// exponential backoff in between).
-    pub max_attempts: u64,
-    /// Probe timeouts fired per attempt before declaring the peer silent.
-    pub max_ptos: u32,
-    /// HTTP request retries within an established connection.
-    pub http_retries: u32,
-    /// Total virtual-time budget per target, in microseconds, across all
-    /// attempts, probe timeouts, and backoff waits.
-    pub budget_us: u64,
-}
-
-impl QScanner {
-    /// Scanner with the paper's configuration.
-    pub fn new(source_ip: IpAddr, seed: u64) -> Self {
-        QScanner {
-            source_ip,
-            versions: vec![Version::DRAFT_29, Version::DRAFT_32, Version::DRAFT_34],
-            http_head: true,
-            seed,
-            max_rounds: 10,
-            max_attempts: 3,
-            max_ptos: 5,
-            http_retries: 6,
-            budget_us: 10_000_000,
-        }
-    }
-
-    fn client_config(&self, sni: Option<&str>) -> ClientConfig {
-        ClientConfig {
-            versions: self.versions.clone(),
-            tls: qtls::ClientConfig {
-                server_name: sni.map(str::to_string),
-                alpn: self
-                    .versions
-                    .iter()
-                    .map(|v| v.alpn().into_bytes())
-                    .collect(),
-                ..qtls::ClientConfig::default()
-            },
-            transport_params: TransportParameters {
-                initial_max_data: 1_048_576,
-                initial_max_stream_data_bidi_local: 262_144,
-                initial_max_stream_data_bidi_remote: 262_144,
-                initial_max_stream_data_uni: 262_144,
-                initial_max_streams_bidi: 16,
-                initial_max_streams_uni: 16,
-                ..TransportParameters::default()
-            },
-            max_vn_retries: 1,
-        }
-    }
-
-    /// Scans one target: up to [`QScanner::max_attempts`] connection
-    /// attempts with exponential backoff, each attempt driving PTO-based
-    /// retransmission inside the connection, all under one virtual-time
-    /// budget. The budget is tracked locally (never read off the shared
-    /// clock, which other workers advance concurrently), so the verdict for
-    /// a target is identical at any worker count.
-    pub fn scan_one(&self, net: &Network, target: &QuicTarget, index: u64) -> QuicScanResult {
-        let dst = SocketAddr::new(target.addr, target.port);
-        let rtt_us = net.rtt().as_micros().max(1);
-
-        let mut result = QuicScanResult {
-            addr: target.addr,
-            sni: target.sni.clone(),
-            outcome: ScanOutcome::NoReply,
-            version: None,
-            tls: None,
-            transport_params: None,
-            http: None,
-        };
-
-        let mut got_reply = false;
-        let mut throttled = false;
-        let mut budget_us = self.budget_us;
-        let mut backoff_us = 2 * rtt_us;
-
-        for attempt in 0..self.max_attempts.max(1) {
-            // Fresh source port per attempt: a server that closed or
-            // poisoned the previous connection keeps draining datagrams on
-            // the old flow, so the retry must look like a new client.
-            let port_slot = (index * self.max_attempts.max(1) + attempt) % 50_000;
-            let src = SocketAddr::new(self.source_ip, 10_000 + port_slot as u16);
-            let seed = self.seed
-                ^ index.wrapping_mul(0xd6e8_feb8_6659_fd93)
-                ^ attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-            let mut conn =
-                ClientConnection::new(self.client_config(target.sni.as_deref()), seed);
-
-            let mut pto_us = 3 * rtt_us;
-            let mut ptos = 0u32;
-            let mut rounds = 0usize;
-            let mut replies: Vec<Vec<u8>> = Vec::new();
-            let mut unreachable = false;
-
-            loop {
-                let out = conn.poll_transmit();
-                if out.is_empty() {
-                    if conn.state() != &ConnectionState::Handshaking {
-                        break;
-                    }
-                    // Peer silent with nothing queued: fire a probe timeout
-                    // (doubling, RFC 9002 §6.2) if budget remains.
-                    if ptos >= self.max_ptos || budget_us < pto_us {
-                        break;
-                    }
-                    net.clock.advance(Duration::from_micros(pto_us));
-                    budget_us -= pto_us;
-                    pto_us *= 2;
-                    ptos += 1;
-                    if !conn.on_pto() {
-                        break;
-                    }
-                    continue;
-                }
-                rounds += 1;
-                if rounds > self.max_rounds {
-                    break;
-                }
-                for datagram in out {
-                    match net.udp_send_status(src, dst, &datagram, &mut replies) {
-                        SendStatus::Unreachable => unreachable = true,
-                        SendStatus::Throttled => throttled = true,
-                        SendStatus::Sent => {}
-                    }
-                    budget_us = budget_us.saturating_sub(rtt_us);
-                    for reply in replies.drain(..) {
-                        got_reply = true;
-                        conn.on_datagram(&reply);
-                    }
-                }
-                if unreachable || conn.state() != &ConnectionState::Handshaking {
-                    break;
-                }
-            }
-
-            if unreachable {
-                result.outcome = ScanOutcome::Unreachable;
-                return result;
-            }
-
-            match conn.outcome() {
-                Some(HandshakeOutcome::Established) => {
-                    result.version = Some(conn.version());
-                    result.tls = conn.tls_info().cloned();
-                    result.transport_params = conn.peer_transport_params().cloned();
-                    if self.http_head {
-                        result.http = self.fetch_http(net, target, src, dst, &mut conn);
-                    }
-                    result.outcome = ScanOutcome::Success;
-                    return result;
-                }
-                Some(HandshakeOutcome::VersionMismatch { .. }) => {
-                    result.outcome = ScanOutcome::VersionMismatch;
-                    return result;
-                }
-                Some(HandshakeOutcome::TransportClose { code, reason }) => {
-                    result.outcome =
-                        ScanOutcome::TransportClose { code: code.0, reason: reason.clone() };
-                    return result;
-                }
-                Some(HandshakeOutcome::TlsFailure(e)) => {
-                    result.outcome = ScanOutcome::Other(format!("tls: {e}"));
-                    return result;
-                }
-                Some(HandshakeOutcome::ProtocolError(e)) => {
-                    result.outcome = ScanOutcome::Other(format!("protocol: {e}"));
-                    return result;
-                }
-                None => {
-                    // No verdict this attempt: back off and retry from a
-                    // fresh port while budget remains.
-                    if budget_us < backoff_us {
-                        break;
-                    }
-                    net.clock.advance(Duration::from_micros(backoff_us));
-                    budget_us -= backoff_us;
-                    backoff_us *= 2;
-                }
-            }
-        }
-
-        result.outcome = if throttled && !got_reply {
-            ScanOutcome::RateLimited
-        } else if got_reply {
-            ScanOutcome::Stalled
-        } else {
-            ScanOutcome::NoReply
-        };
-        result
-    }
-
-    /// Issues the HTTP/3 HEAD request over an established connection,
-    /// re-requesting on a fresh stream when a response is lost (stream
-    /// frames are not idempotent server-side, so retrying a request beats
-    /// retransmitting the original packet).
-    fn fetch_http(
-        &self,
-        net: &Network,
-        target: &QuicTarget,
-        src: SocketAddr,
-        dst: SocketAddr,
-        conn: &mut ClientConnection,
-    ) -> Option<Response> {
-        let authority = target.sni.clone().unwrap_or_else(|| target.addr.to_string());
-        let control = conn.open_uni_stream();
-        conn.send_stream(control, &request::client_control_stream(), false);
-        let mut replies: Vec<Vec<u8>> = Vec::new();
-        for _ in 0..self.http_retries.max(1) {
-            if !conn.handshake_done() {
-                // The server may still be waiting for a lost Finished;
-                // repeat it so the request lands on an established
-                // connection instead of being dropped pre-handshake.
-                conn.on_pto();
-            }
-            let stream = conn.open_bidi_stream();
-            conn.send_stream(
-                stream,
-                &request::encode_request(
-                    "HEAD",
-                    &authority,
-                    "/",
-                    &[Header::new("user-agent", "qscanner-sim/1.0")],
-                ),
-                true,
-            );
-            for _ in 0..self.max_rounds {
-                let out = conn.poll_transmit();
-                if out.is_empty() {
-                    break;
-                }
-                for datagram in out {
-                    let _ = net.udp_send_status(src, dst, &datagram, &mut replies);
-                    for reply in replies.drain(..) {
-                        conn.on_datagram(&reply);
-                    }
-                }
-            }
-            for s in conn.poll_streams() {
-                if s.id == stream {
-                    if let Some(resp) = request::decode_response(&s.data) {
-                        return Some(resp);
-                    }
-                }
-            }
-        }
-        None
-    }
-
-    /// [`QScanner::scan_one`] with panic isolation: a poisoned target turns
-    /// into [`ScanOutcome::Other`] instead of tearing down its whole shard.
-    pub fn scan_one_isolated(
-        &self,
-        net: &Network,
-        target: &QuicTarget,
-        index: u64,
-    ) -> QuicScanResult {
-        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.scan_one(net, target, index)
-        }));
-        match caught {
-            Ok(r) => r,
-            Err(payload) => {
-                let msg = payload
-                    .downcast_ref::<&str>()
-                    .map(|s| (*s).to_string())
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "unknown panic".to_string());
-                QuicScanResult {
-                    addr: target.addr,
-                    sni: target.sni.clone(),
-                    outcome: ScanOutcome::Other(format!("panic: {msg}")),
-                    version: None,
-                    tls: None,
-                    transport_params: None,
-                    http: None,
-                }
-            }
-        }
-    }
-
-    /// Scans targets across `workers` threads.
-    pub fn scan_many(
-        &self,
-        net: &Network,
-        targets: &[QuicTarget],
-        workers: usize,
-    ) -> Vec<QuicScanResult> {
-        if workers <= 1 || targets.len() < 64 {
-            return targets
-                .iter()
-                .enumerate()
-                .map(|(i, t)| self.scan_one_isolated(net, t, i as u64))
-                .collect();
-        }
-        let (tx, rx) = channel::unbounded::<(usize, QuicScanResult)>();
-        std::thread::scope(|scope| {
-            let chunk = targets.len().div_ceil(workers);
-            for (w, slice) in targets.chunks(chunk).enumerate() {
-                let tx = tx.clone();
-                scope.spawn(move || {
-                    for (j, t) in slice.iter().enumerate() {
-                        let index = (w * chunk + j) as u64;
-                        let r = self.scan_one_isolated(net, t, index);
-                        let _ = tx.send((w * chunk + j, r));
-                    }
-                });
-            }
-            drop(tx);
-        });
-        let mut indexed: Vec<(usize, QuicScanResult)> = rx.into_iter().collect();
-        indexed.sort_by_key(|(i, _)| *i);
-        indexed.into_iter().map(|(_, r)| r).collect()
-    }
-}
+pub use outcome::{QuicScanResult, QuicTarget, ScanOutcome};
+pub use scan::QScanner;
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use internet::{Universe, UniverseConfig};
     use simnet::addr::Ipv4Addr;
+    use simnet::{IpAddr, SocketAddr};
 
     fn universe() -> Universe {
         Universe::generate(UniverseConfig::tiny(18))
@@ -714,114 +290,92 @@ mod tests {
         // The shard survived: the second target still got scanned.
         assert_eq!(results[1].outcome, ScanOutcome::NoReply);
     }
-}
 
-/// Machine-readable result export (the released QScanner writes CSV result
-/// files; this mirrors that surface).
-pub mod export {
-    use super::{QuicScanResult, ScanOutcome};
-
-    /// CSV header row.
-    pub const CSV_HEADER: &str = "addr,sni,outcome,error_code,version,tls_version,cipher,group,cert_subject,server,alpn,tp_config";
-
-    fn field(s: &str) -> String {
-        if s.contains(',') || s.contains('"') {
-            format!("\"{}\"", s.replace('"', "\"\""))
-        } else {
-            s.to_string()
+    #[test]
+    fn traced_scan_matches_untraced_verdicts() {
+        use std::sync::Arc;
+        use telemetry::{MemorySink, Telemetry};
+        let u = universe();
+        let scanner = QScanner::new(vantage(), 1);
+        let targets: Vec<QuicTarget> = u
+            .hosts
+            .iter()
+            .filter(|h| h.v4.is_some())
+            .take(20)
+            .map(|h| QuicTarget::new(IpAddr::V4(h.v4.unwrap()), None))
+            .collect();
+        let plain = scanner.scan_many(&u.build_network(), &targets, 1);
+        let sink = Arc::new(MemorySink::new());
+        let tel = Telemetry::with_sink(sink.clone());
+        let traced = scanner.scan_many_traced(&u.build_network(), &targets, 1, Some(7), &tel);
+        assert_eq!(plain.len(), traced.len());
+        for (a, b) in plain.iter().zip(&traced) {
+            assert_eq!(a.outcome, b.outcome, "{:?}", a.addr);
         }
-    }
-
-    /// Serializes one result as a CSV row.
-    pub fn csv_row(r: &QuicScanResult) -> String {
-        let (outcome, code) = match &r.outcome {
-            ScanOutcome::Success => ("success".to_string(), String::new()),
-            ScanOutcome::NoReply => ("no_reply".to_string(), String::new()),
-            ScanOutcome::Stalled => ("stalled".to_string(), String::new()),
-            ScanOutcome::Unreachable => ("unreachable".to_string(), String::new()),
-            ScanOutcome::RateLimited => ("rate_limited".to_string(), String::new()),
-            ScanOutcome::TransportClose { code, .. } => {
-                ("close".to_string(), format!("0x{code:x}"))
-            }
-            ScanOutcome::VersionMismatch => ("version_mismatch".to_string(), String::new()),
-            ScanOutcome::Other(e) => (format!("other:{e}"), String::new()),
-        };
-        let tls = r.tls.as_ref();
-        let cols = [
-            r.addr.to_string(),
-            r.sni.clone().unwrap_or_default(),
-            outcome,
-            code,
-            r.version.map(|v| v.label()).unwrap_or_default(),
-            tls.map(|t| t.tls_version.label().to_string()).unwrap_or_default(),
-            tls.map(|t| t.cipher.name().to_string()).unwrap_or_default(),
-            tls.map(|t| t.group.name().to_string()).unwrap_or_default(),
-            tls.and_then(|t| t.certificates.first())
-                .map(|c| c.subject.clone())
-                .unwrap_or_default(),
-            r.server_header().unwrap_or_default().to_string(),
-            tls.and_then(|t| t.alpn.as_ref())
-                .map(|a| String::from_utf8_lossy(a).into_owned())
-                .unwrap_or_default(),
-            r.tp_config_key().unwrap_or_default(),
-        ];
-        cols.iter().map(|c| field(c)).collect::<Vec<_>>().join(",")
-    }
-
-    /// Writes a full result set to a CSV file.
-    pub fn write_csv(
-        path: &std::path::Path,
-        results: &[QuicScanResult],
-    ) -> std::io::Result<()> {
-        use std::io::Write;
-        let mut f = std::fs::File::create(path)?;
-        writeln!(f, "{CSV_HEADER}")?;
-        for r in results {
-            writeln!(f, "{}", csv_row(r))?;
-        }
-        Ok(())
-    }
-
-    #[cfg(test)]
-    mod tests {
-        use super::*;
-        use simnet::addr::Ipv4Addr;
-        use simnet::IpAddr;
-
-        #[test]
-        fn rows_serialize_every_outcome() {
-            let base = QuicScanResult {
-                addr: IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1)),
-                sni: Some("a,b.example".into()),
-                outcome: ScanOutcome::Success,
-                version: Some(quic::Version::DRAFT_29),
-                tls: None,
-                transport_params: None,
-                http: None,
-            };
-            let row = csv_row(&base);
-            assert!(row.starts_with("10.0.0.1,\"a,b.example\",success"));
-            assert!(row.contains("draft-29"));
-
-            let close = QuicScanResult {
-                outcome: ScanOutcome::TransportClose { code: 0x128, reason: "x".into() },
-                ..base.clone()
-            };
-            assert!(csv_row(&close).contains("close,0x128"));
-
-            let mismatch =
-                QuicScanResult { outcome: ScanOutcome::VersionMismatch, ..base.clone() };
-            assert!(csv_row(&mismatch).contains("version_mismatch"));
-
-            for (outcome, label) in [
-                (ScanOutcome::NoReply, "no_reply"),
-                (ScanOutcome::Stalled, "stalled"),
-                (ScanOutcome::Unreachable, "unreachable"),
-                (ScanOutcome::RateLimited, "rate_limited"),
-            ] {
-                let r = QuicScanResult { outcome, ..base.clone() };
-                assert!(csv_row(&r).contains(label), "{label}");
+        // One outcome_decided per target, in scan-index order, with the
+        // label matching the verdict.
+        let events = sink.events();
+        let outcomes: Vec<&telemetry::Event> = events
+            .iter()
+            .filter(|e| matches!(e.kind, telemetry::EventKind::OutcomeDecided { .. }))
+            .collect();
+        assert_eq!(outcomes.len(), targets.len());
+        for (i, (e, r)) in outcomes.iter().zip(&traced).enumerate() {
+            assert_eq!(e.flow, i as u64);
+            assert_eq!(e.week, Some(7));
+            if let telemetry::EventKind::OutcomeDecided { outcome } = &e.kind {
+                assert_eq!(outcome, &r.outcome.label());
             }
         }
+        // Metrics agree with the verdict tally.
+        let snap = tel.metrics.snapshot();
+        assert_eq!(snap.counter("qscanner.targets"), targets.len() as u64);
+        let successes = traced
+            .iter()
+            .filter(|r| r.outcome == ScanOutcome::Success)
+            .count() as u64;
+        assert_eq!(snap.counter("qscanner.outcome.success"), successes);
+    }
+
+    #[test]
+    fn traced_success_timeline_is_complete() {
+        use std::sync::Arc;
+        use telemetry::{EventKind, MemorySink, Telemetry};
+        let u = universe();
+        let net = u.build_network();
+        let scanner = QScanner::new(vantage(), 1);
+        let domain = u
+            .domains
+            .iter()
+            .find(|d| d.name.contains("cf-customer") && !d.v4_hosts.is_empty())
+            .unwrap();
+        let host = &u.hosts[domain.v4_hosts[0] as usize];
+        let target = QuicTarget::new(IpAddr::V4(host.v4.unwrap()), Some(domain.name.clone()));
+        let sink = Arc::new(MemorySink::new());
+        let tel = Telemetry::with_sink(sink.clone());
+        let mut metrics = telemetry::LocalMetrics::new();
+        let (r, events) = scanner.scan_one_traced(&net, &target, 3, None, &mut metrics);
+        tel.metrics.submit(0, metrics);
+        assert_eq!(r.outcome, ScanOutcome::Success);
+        let names: Vec<&str> = events.iter().map(|e| e.kind.name()).collect();
+        for expected in [
+            "attempt_started",
+            "key_derived",
+            "packet_sent",
+            "packet_received",
+            "handshake_phase",
+            "outcome_decided",
+        ] {
+            assert!(names.contains(&expected), "missing {expected} in {names:?}");
+        }
+        // Timestamps are monotone flow-local virtual time; seq is dense.
+        for (i, w) in events.windows(2).enumerate() {
+            assert!(w[1].t_us >= w[0].t_us, "time went backwards at {i}");
+            assert_eq!(w[1].seq, w[0].seq + 1);
+        }
+        assert!(events.iter().all(|e| e.flow == 3));
+        let snap = tel.metrics.snapshot();
+        assert_eq!(snap.counter("qscanner.attempts"), 1);
+        assert_eq!(snap.histogram("qscanner.scan_us").map(|h| h.count()), Some(1));
     }
 }

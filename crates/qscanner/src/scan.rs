@@ -1,0 +1,596 @@
+//! The scan driver: per-target attempt/PTO/backoff loops, HTTP/3 follow-up,
+//! panic isolation, and the parallel fan-out.
+//!
+//! Telemetry integration follows the determinism rules of the `telemetry`
+//! crate: a traced scan stamps events with the target's **flow-local**
+//! virtual time (mirroring the driver's own budget arithmetic — never the
+//! shared clock) and workers hand finished per-target event lists back to
+//! the driver, which emits them in scan-index order.
+
+use crossbeam::channel;
+
+use h3::qpack::Header;
+use h3::request::{self, Response};
+use quic::conn::{ClientConnection, ConnectionState, HandshakeOutcome};
+use quic::tparams::TransportParameters;
+use quic::version::Version;
+use quic::ClientConfig;
+use simnet::{Duration, IpAddr, Network, SendStatus, SocketAddr};
+use telemetry::{Event, EventKind, LocalMetrics, Telemetry, TraceCtx};
+
+use crate::outcome::{QuicScanResult, QuicTarget, ScanOutcome};
+use crate::retry::{BackoffSchedule, PtoSchedule, TargetBudget};
+
+/// Coarse packet-space classification from the first byte of a datagram
+/// (enough for a timeline; the scanner never decrypts here).
+fn space_of(datagram: &[u8]) -> &'static str {
+    let Some(&b) = datagram.first() else {
+        return "unknown";
+    };
+    if b & 0x80 == 0 {
+        return "1rtt";
+    }
+    if datagram.len() >= 5 && datagram[1..5] == [0, 0, 0, 0] {
+        return "vn";
+    }
+    match (b >> 4) & 0x3 {
+        0 => "initial",
+        1 => "0rtt",
+        2 => "handshake",
+        _ => "retry",
+    }
+}
+
+/// Metric counter for an outcome family.
+fn outcome_counter(outcome: &ScanOutcome) -> &'static str {
+    match outcome {
+        ScanOutcome::Success => "qscanner.outcome.success",
+        ScanOutcome::NoReply => "qscanner.outcome.no_reply",
+        ScanOutcome::Stalled => "qscanner.outcome.stalled",
+        ScanOutcome::Unreachable => "qscanner.outcome.unreachable",
+        ScanOutcome::RateLimited => "qscanner.outcome.rate_limited",
+        ScanOutcome::TransportClose { .. } => "qscanner.outcome.close",
+        ScanOutcome::VersionMismatch => "qscanner.outcome.version_mismatch",
+        ScanOutcome::Other(_) => "qscanner.outcome.other",
+    }
+}
+
+/// Per-target observation state threaded through a traced scan.
+struct Obs<'a> {
+    ctx: &'a mut TraceCtx,
+    metrics: &'a mut LocalMetrics,
+}
+
+/// Moves buffered connection events (key derivations, VN, Retry, phase
+/// transitions) into the trace, stamped at the current flow-local time.
+fn drain_conn_events(conn: &mut ClientConnection, obs: &mut Option<&mut Obs<'_>>) {
+    if let Some(o) = obs.as_deref_mut() {
+        for kind in conn.take_events() {
+            o.ctx.record(kind);
+        }
+    }
+}
+
+/// The scanner.
+pub struct QScanner {
+    /// Vantage source address.
+    pub source_ip: IpAddr,
+    /// Versions offered, most preferred first (the QScanner of the paper
+    /// supported draft 29/32/34, later v1).
+    pub versions: Vec<Version>,
+    /// Send an HTTP/3 HEAD request after the handshake.
+    pub http_head: bool,
+    /// Base seed.
+    pub seed: u64,
+    /// Max request/response pump rounds per attempt.
+    pub max_rounds: usize,
+    /// Connection attempts per target (each from a fresh source port, with
+    /// exponential backoff in between).
+    pub max_attempts: u64,
+    /// Probe timeouts fired per attempt before declaring the peer silent.
+    pub max_ptos: u32,
+    /// HTTP request retries within an established connection.
+    pub http_retries: u32,
+    /// Total virtual-time budget per target, in microseconds, across all
+    /// attempts, probe timeouts, and backoff waits.
+    pub budget_us: u64,
+}
+
+impl QScanner {
+    /// Scanner with the paper's configuration.
+    pub fn new(source_ip: IpAddr, seed: u64) -> Self {
+        QScanner {
+            source_ip,
+            versions: vec![Version::DRAFT_29, Version::DRAFT_32, Version::DRAFT_34],
+            http_head: true,
+            seed,
+            max_rounds: 10,
+            max_attempts: 3,
+            max_ptos: 5,
+            http_retries: 6,
+            budget_us: 10_000_000,
+        }
+    }
+
+    fn client_config(&self, sni: Option<&str>) -> ClientConfig {
+        ClientConfig {
+            versions: self.versions.clone(),
+            tls: qtls::ClientConfig {
+                server_name: sni.map(str::to_string),
+                alpn: self
+                    .versions
+                    .iter()
+                    .map(|v| v.alpn().into_bytes())
+                    .collect(),
+                ..qtls::ClientConfig::default()
+            },
+            transport_params: TransportParameters {
+                initial_max_data: 1_048_576,
+                initial_max_stream_data_bidi_local: 262_144,
+                initial_max_stream_data_bidi_remote: 262_144,
+                initial_max_stream_data_uni: 262_144,
+                initial_max_streams_bidi: 16,
+                initial_max_streams_uni: 16,
+                ..TransportParameters::default()
+            },
+            max_vn_retries: 1,
+        }
+    }
+
+    /// Scans one target: up to [`QScanner::max_attempts`] connection
+    /// attempts with exponential backoff, each attempt driving PTO-based
+    /// retransmission inside the connection, all under one virtual-time
+    /// budget. The budget is tracked locally (never read off the shared
+    /// clock, which other workers advance concurrently), so the verdict for
+    /// a target is identical at any worker count.
+    pub fn scan_one(&self, net: &Network, target: &QuicTarget, index: u64) -> QuicScanResult {
+        self.scan_one_impl(net, target, index, None)
+    }
+
+    /// [`QScanner::scan_one`] with full telemetry: returns the finished
+    /// per-target event list (flow id = scan index, flow-local timestamps)
+    /// and records counters/histograms into the caller's worker-local
+    /// metric set. The scan behaves byte-identically to the untraced one.
+    pub fn scan_one_traced(
+        &self,
+        net: &Network,
+        target: &QuicTarget,
+        index: u64,
+        week: Option<u32>,
+        metrics: &mut LocalMetrics,
+    ) -> (QuicScanResult, Vec<Event>) {
+        let mut ctx = TraceCtx::new(index, target.trace_label(), week);
+        let result = {
+            let mut obs = Obs { ctx: &mut ctx, metrics };
+            self.scan_one_impl(net, target, index, Some(&mut obs))
+        };
+        metrics.inc("qscanner.targets", 1);
+        metrics.inc(outcome_counter(&result.outcome), 1);
+        metrics.observe("qscanner.scan_us", ctx.now());
+        ctx.record(EventKind::OutcomeDecided { outcome: result.outcome.label() });
+        (result, ctx.finish())
+    }
+
+    fn scan_one_impl(
+        &self,
+        net: &Network,
+        target: &QuicTarget,
+        index: u64,
+        mut obs: Option<&mut Obs<'_>>,
+    ) -> QuicScanResult {
+        let dst = SocketAddr::new(target.addr, target.port);
+        let rtt_us = net.rtt().as_micros().max(1);
+
+        let mut result = QuicScanResult {
+            addr: target.addr,
+            sni: target.sni.clone(),
+            outcome: ScanOutcome::NoReply,
+            version: None,
+            tls: None,
+            transport_params: None,
+            http: None,
+        };
+
+        let mut got_reply = false;
+        let mut throttled = false;
+        let mut budget = TargetBudget::new(self.budget_us);
+        let mut backoff = BackoffSchedule::new(rtt_us);
+
+        for attempt in 0..self.max_attempts.max(1) {
+            // Fresh source port per attempt: a server that closed or
+            // poisoned the previous connection keeps draining datagrams on
+            // the old flow, so the retry must look like a new client.
+            let port_slot = (index * self.max_attempts.max(1) + attempt) % 50_000;
+            let src = SocketAddr::new(self.source_ip, 10_000 + port_slot as u16);
+            let seed = self.seed
+                ^ index.wrapping_mul(0xd6e8_feb8_6659_fd93)
+                ^ attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let config = self.client_config(target.sni.as_deref());
+            let mut conn = match obs.as_deref_mut() {
+                Some(o) => {
+                    o.ctx.record(EventKind::AttemptStarted {
+                        attempt,
+                        version: self
+                            .versions
+                            .first()
+                            .map(|v| v.label())
+                            .unwrap_or_else(|| Version::V1.label()),
+                    });
+                    o.metrics.inc("qscanner.attempts", 1);
+                    ClientConnection::new_traced(config, seed)
+                }
+                None => ClientConnection::new(config, seed),
+            };
+            drain_conn_events(&mut conn, &mut obs);
+
+            let mut ptos = PtoSchedule::new(rtt_us, self.max_ptos);
+            let mut rounds = 0usize;
+            let mut replies: Vec<Vec<u8>> = Vec::new();
+            let mut unreachable = false;
+
+            loop {
+                let out = conn.poll_transmit();
+                if out.is_empty() {
+                    if conn.state() != &ConnectionState::Handshaking {
+                        break;
+                    }
+                    // Peer silent with nothing queued: fire a probe timeout
+                    // (doubling, RFC 9002 §6.2) if budget remains.
+                    let Some(wait_us) = ptos.next_wait_us() else {
+                        break;
+                    };
+                    if !budget.try_charge(wait_us) {
+                        break;
+                    }
+                    net.clock.advance(Duration::from_micros(wait_us));
+                    let count = ptos.fire();
+                    if let Some(o) = obs.as_deref_mut() {
+                        o.ctx.advance(wait_us);
+                        o.ctx.record(EventKind::PtoFired { count, wait_us });
+                        o.metrics.inc("qscanner.ptos", 1);
+                    }
+                    if !conn.on_pto() {
+                        break;
+                    }
+                    continue;
+                }
+                rounds += 1;
+                if rounds > self.max_rounds {
+                    break;
+                }
+                for datagram in out {
+                    let status = match obs.as_deref_mut() {
+                        Some(o) => {
+                            o.ctx.record(EventKind::PacketSent {
+                                space: space_of(&datagram),
+                                bytes: datagram.len() as u64,
+                            });
+                            net.udp_send_status_traced(src, dst, &datagram, &mut replies, o.ctx)
+                        }
+                        None => net.udp_send_status(src, dst, &datagram, &mut replies),
+                    };
+                    match status {
+                        SendStatus::Unreachable => unreachable = true,
+                        SendStatus::Throttled => throttled = true,
+                        SendStatus::Sent => {}
+                    }
+                    budget.charge_exchange(rtt_us);
+                    if let Some(o) = obs.as_deref_mut() {
+                        o.ctx.advance(rtt_us);
+                        for reply in &replies {
+                            o.ctx.record(EventKind::PacketReceived {
+                                space: space_of(reply),
+                                bytes: reply.len() as u64,
+                            });
+                        }
+                    }
+                    for reply in replies.drain(..) {
+                        got_reply = true;
+                        conn.on_datagram(&reply);
+                    }
+                    drain_conn_events(&mut conn, &mut obs);
+                }
+                if unreachable || conn.state() != &ConnectionState::Handshaking {
+                    break;
+                }
+            }
+
+            if unreachable {
+                result.outcome = ScanOutcome::Unreachable;
+                return result;
+            }
+
+            match conn.outcome() {
+                Some(HandshakeOutcome::Established) => {
+                    result.version = Some(conn.version());
+                    result.tls = conn.tls_info().cloned();
+                    result.transport_params = conn.peer_transport_params().cloned();
+                    if self.http_head {
+                        result.http =
+                            self.fetch_http(net, target, src, dst, &mut conn, obs.as_deref_mut());
+                    }
+                    result.outcome = ScanOutcome::Success;
+                    return result;
+                }
+                Some(HandshakeOutcome::VersionMismatch { .. }) => {
+                    result.outcome = ScanOutcome::VersionMismatch;
+                    return result;
+                }
+                Some(HandshakeOutcome::TransportClose { code, reason }) => {
+                    result.outcome =
+                        ScanOutcome::TransportClose { code: code.0, reason: reason.clone() };
+                    return result;
+                }
+                Some(HandshakeOutcome::TlsFailure(e)) => {
+                    result.outcome = ScanOutcome::Other(format!("tls: {e}"));
+                    return result;
+                }
+                Some(HandshakeOutcome::ProtocolError(e)) => {
+                    result.outcome = ScanOutcome::Other(format!("protocol: {e}"));
+                    return result;
+                }
+                None => {
+                    // No verdict this attempt: back off and retry from a
+                    // fresh port while budget remains.
+                    let wait_us = backoff.wait_us();
+                    if !budget.try_charge(wait_us) {
+                        break;
+                    }
+                    net.clock.advance(Duration::from_micros(wait_us));
+                    backoff.advance();
+                    if let Some(o) = obs.as_deref_mut() {
+                        o.ctx.record(EventKind::BackoffWaited { attempt, wait_us });
+                        o.ctx.advance(wait_us);
+                        o.metrics.inc("qscanner.backoffs", 1);
+                    }
+                }
+            }
+        }
+
+        result.outcome = if throttled && !got_reply {
+            ScanOutcome::RateLimited
+        } else if got_reply {
+            ScanOutcome::Stalled
+        } else {
+            ScanOutcome::NoReply
+        };
+        result
+    }
+
+    /// Issues the HTTP/3 HEAD request over an established connection,
+    /// re-requesting on a fresh stream when a response is lost (stream
+    /// frames are not idempotent server-side, so retrying a request beats
+    /// retransmitting the original packet).
+    fn fetch_http(
+        &self,
+        net: &Network,
+        target: &QuicTarget,
+        src: SocketAddr,
+        dst: SocketAddr,
+        conn: &mut ClientConnection,
+        mut obs: Option<&mut Obs<'_>>,
+    ) -> Option<Response> {
+        let rtt_us = net.rtt().as_micros().max(1);
+        let authority = target.sni.clone().unwrap_or_else(|| target.addr.to_string());
+        let control = conn.open_uni_stream();
+        conn.send_stream(control, &request::client_control_stream(), false);
+        let mut replies: Vec<Vec<u8>> = Vec::new();
+        for _ in 0..self.http_retries.max(1) {
+            if !conn.handshake_done() {
+                // The server may still be waiting for a lost Finished;
+                // repeat it so the request lands on an established
+                // connection instead of being dropped pre-handshake.
+                conn.on_pto();
+            }
+            let stream = conn.open_bidi_stream();
+            conn.send_stream(
+                stream,
+                &request::encode_request(
+                    "HEAD",
+                    &authority,
+                    "/",
+                    &[Header::new("user-agent", "qscanner-sim/1.0")],
+                ),
+                true,
+            );
+            for _ in 0..self.max_rounds {
+                let out = conn.poll_transmit();
+                if out.is_empty() {
+                    break;
+                }
+                for datagram in out {
+                    match obs.as_deref_mut() {
+                        Some(o) => {
+                            o.ctx.record(EventKind::PacketSent {
+                                space: space_of(&datagram),
+                                bytes: datagram.len() as u64,
+                            });
+                            let _ = net.udp_send_status_traced(
+                                src,
+                                dst,
+                                &datagram,
+                                &mut replies,
+                                o.ctx,
+                            );
+                            o.ctx.advance(rtt_us);
+                            for reply in &replies {
+                                o.ctx.record(EventKind::PacketReceived {
+                                    space: space_of(reply),
+                                    bytes: reply.len() as u64,
+                                });
+                            }
+                        }
+                        None => {
+                            let _ = net.udp_send_status(src, dst, &datagram, &mut replies);
+                        }
+                    }
+                    for reply in replies.drain(..) {
+                        conn.on_datagram(&reply);
+                    }
+                    drain_conn_events(conn, &mut obs);
+                }
+            }
+            for s in conn.poll_streams() {
+                if s.id == stream {
+                    if let Some(resp) = request::decode_response(&s.data) {
+                        return Some(resp);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// [`QScanner::scan_one`] with panic isolation: a poisoned target turns
+    /// into [`ScanOutcome::Other`] instead of tearing down its whole shard.
+    pub fn scan_one_isolated(
+        &self,
+        net: &Network,
+        target: &QuicTarget,
+        index: u64,
+    ) -> QuicScanResult {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.scan_one(net, target, index)
+        }));
+        match caught {
+            Ok(r) => r,
+            Err(payload) => panic_result(target, payload),
+        }
+    }
+
+    /// [`QScanner::scan_one_traced`] with panic isolation: the trace of a
+    /// poisoned target degrades to its `outcome_decided` event.
+    pub fn scan_one_traced_isolated(
+        &self,
+        net: &Network,
+        target: &QuicTarget,
+        index: u64,
+        week: Option<u32>,
+        metrics: &mut LocalMetrics,
+    ) -> (QuicScanResult, Vec<Event>) {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.scan_one_traced(net, target, index, week, metrics)
+        }));
+        match caught {
+            Ok(r) => r,
+            Err(payload) => {
+                let result = panic_result(target, payload);
+                metrics.inc("qscanner.targets", 1);
+                metrics.inc(outcome_counter(&result.outcome), 1);
+                let mut ctx = TraceCtx::new(index, target.trace_label(), week);
+                ctx.record(EventKind::OutcomeDecided { outcome: result.outcome.label() });
+                (result, ctx.finish())
+            }
+        }
+    }
+
+    /// Scans targets across `workers` threads.
+    pub fn scan_many(
+        &self,
+        net: &Network,
+        targets: &[QuicTarget],
+        workers: usize,
+    ) -> Vec<QuicScanResult> {
+        if workers <= 1 || targets.len() < 64 {
+            return targets
+                .iter()
+                .enumerate()
+                .map(|(i, t)| self.scan_one_isolated(net, t, i as u64))
+                .collect();
+        }
+        let (tx, rx) = channel::unbounded::<(usize, QuicScanResult)>();
+        std::thread::scope(|scope| {
+            let chunk = targets.len().div_ceil(workers);
+            for (w, slice) in targets.chunks(chunk).enumerate() {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    for (j, t) in slice.iter().enumerate() {
+                        let index = (w * chunk + j) as u64;
+                        let r = self.scan_one_isolated(net, t, index);
+                        let _ = tx.send((w * chunk + j, r));
+                    }
+                });
+            }
+            drop(tx);
+        });
+        let mut indexed: Vec<(usize, QuicScanResult)> = rx.into_iter().collect();
+        indexed.sort_by_key(|(i, _)| *i);
+        indexed.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// [`QScanner::scan_many`] with telemetry: per-target event lists are
+    /// merged **in scan-index order** into the sink (so the stream is
+    /// byte-identical at any worker count) and each worker submits its
+    /// metric set to the registry once.
+    pub fn scan_many_traced(
+        &self,
+        net: &Network,
+        targets: &[QuicTarget],
+        workers: usize,
+        week: Option<u32>,
+        telemetry: &Telemetry,
+    ) -> Vec<QuicScanResult> {
+        if workers <= 1 || targets.len() < 64 {
+            let mut metrics = LocalMetrics::new();
+            let mut results = Vec::with_capacity(targets.len());
+            for (i, t) in targets.iter().enumerate() {
+                let (r, events) =
+                    self.scan_one_traced_isolated(net, t, i as u64, week, &mut metrics);
+                telemetry.emit_all(&events);
+                results.push(r);
+            }
+            telemetry.metrics.submit(0, metrics);
+            return results;
+        }
+        let (tx, rx) = channel::unbounded::<(usize, QuicScanResult, Vec<Event>)>();
+        std::thread::scope(|scope| {
+            let chunk = targets.len().div_ceil(workers);
+            for (w, slice) in targets.chunks(chunk).enumerate() {
+                let tx = tx.clone();
+                let registry = telemetry.metrics.clone();
+                scope.spawn(move || {
+                    let mut metrics = LocalMetrics::new();
+                    for (j, t) in slice.iter().enumerate() {
+                        let index = w * chunk + j;
+                        let (r, events) = self.scan_one_traced_isolated(
+                            net,
+                            t,
+                            index as u64,
+                            week,
+                            &mut metrics,
+                        );
+                        let _ = tx.send((index, r, events));
+                    }
+                    registry.submit(w as u64, metrics);
+                });
+            }
+            drop(tx);
+        });
+        let mut indexed: Vec<(usize, QuicScanResult, Vec<Event>)> = rx.into_iter().collect();
+        indexed.sort_by_key(|(i, _, _)| *i);
+        let mut results = Vec::with_capacity(indexed.len());
+        for (_, r, events) in indexed {
+            telemetry.emit_all(&events);
+            results.push(r);
+        }
+        results
+    }
+}
+
+/// The result recorded for a target whose scan panicked.
+fn panic_result(target: &QuicTarget, payload: Box<dyn std::any::Any + Send>) -> QuicScanResult {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "unknown panic".to_string());
+    QuicScanResult {
+        addr: target.addr,
+        sni: target.sni.clone(),
+        outcome: ScanOutcome::Other(format!("panic: {msg}")),
+        version: None,
+        tls: None,
+        transport_params: None,
+        http: None,
+    }
+}

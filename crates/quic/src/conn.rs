@@ -192,12 +192,25 @@ pub struct ClientConnection {
     ch_bytes: Vec<u8>,
     /// Handshake-level crypto (Finished) already sent, for PTO retransmits.
     sent_finished: Vec<u8>,
+    /// Telemetry buffer: `Some` once tracing is enabled; the driver drains
+    /// it with [`ClientConnection::take_events`] and stamps time/flow there.
+    events: Option<Vec<telemetry::EventKind>>,
     rng: StdRng,
 }
 
 impl ClientConnection {
     /// Creates a connection and queues the padded Initial datagram.
     pub fn new(config: ClientConfig, seed: u64) -> Self {
+        Self::build(config, seed, false)
+    }
+
+    /// [`ClientConnection::new`] with event tracing enabled from the first
+    /// attempt (so the initial key derivation is captured too).
+    pub fn new_traced(config: ClientConfig, seed: u64) -> Self {
+        Self::build(config, seed, true)
+    }
+
+    fn build(config: ClientConfig, seed: u64, traced: bool) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let version = config.versions.first().copied().unwrap_or(Version::V1);
         let mut conn = ClientConnection {
@@ -230,6 +243,7 @@ impl ClientConnection {
             retry_seen: false,
             ch_bytes: Vec::new(),
             sent_finished: Vec::new(),
+            events: traced.then(Vec::new),
             rng,
         };
         conn.vn_retries_left = conn.config.max_vn_retries;
@@ -253,6 +267,7 @@ impl ClientConnection {
         };
 
         let (client_keys, server_keys) = initial_keys(version, self.dcid.as_slice());
+        self.note(|| telemetry::EventKind::KeyDerived { level: "initial" });
         self.seal_initial = Some(client_keys);
         self.open_keys = OpenKeys { initial: Some(server_keys), handshake: None, app: None };
         self.seal_handshake = None;
@@ -352,6 +367,33 @@ impl ClientConnection {
         false
     }
 
+    /// Turns on event buffering. The connection is sans-IO and knows no
+    /// clock, so it only records *kinds*; the scan driver drains them via
+    /// [`ClientConnection::take_events`] and stamps flow id and virtual
+    /// time. Disabled (the default), each site costs one branch.
+    pub fn enable_tracing(&mut self) {
+        if self.events.is_none() {
+            self.events = Some(Vec::new());
+        }
+    }
+
+    /// Drains buffered telemetry events in occurrence order (empty when
+    /// tracing is off).
+    pub fn take_events(&mut self) -> Vec<telemetry::EventKind> {
+        match &mut self.events {
+            Some(buf) => std::mem::take(buf),
+            None => Vec::new(),
+        }
+    }
+
+    /// Records a telemetry event kind when tracing is enabled. The closure
+    /// keeps construction (allocation) off the disabled path.
+    fn note(&mut self, kind: impl FnOnce() -> telemetry::EventKind) {
+        if let Some(buf) = &mut self.events {
+            buf.push(kind());
+        }
+    }
+
     /// The version currently being attempted.
     pub fn version(&self) -> Version {
         self.version
@@ -425,6 +467,9 @@ impl ClientConnection {
     fn close_with(&mut self, outcome: HandshakeOutcome) {
         if self.outcome.is_none() {
             self.outcome = Some(outcome);
+        }
+        if self.state != ConnectionState::Closed {
+            self.note(|| telemetry::EventKind::HandshakePhase { phase: "closed" });
         }
         self.state = ConnectionState::Closed;
     }
@@ -505,6 +550,7 @@ impl ClientConnection {
             return;
         }
         self.retry_seen = true;
+        self.note(|| telemetry::EventKind::RetryReceived);
         self.retry_token = retry.token;
         self.retry_dcid = Some(retry.scid);
         self.tx.clear();
@@ -517,6 +563,9 @@ impl ClientConnection {
             return; // VN after real packets must be ignored (RFC 9000 §6.2)
         }
         let server_versions = pkt.supported_versions.clone();
+        self.note(|| telemetry::EventKind::VersionNegotiation {
+            server_versions: server_versions.iter().map(|v| v.label()).collect(),
+        });
         // A VN listing the offered version is a protocol violation — and
         // exactly what the Google roll-out inconsistency looked like.
         if server_versions.contains(&self.version) {
@@ -626,6 +675,7 @@ impl ClientConnection {
                         .negotiated_cipher()
                         .unwrap_or(qtls::CipherSuite::Aes128GcmSha256)
                         .aead();
+                    self.note(|| telemetry::EventKind::KeyDerived { level: "handshake" });
                     self.seal_handshake = Some(PacketKeys::from_secret(alg, &hs.client));
                     self.open_keys.handshake = Some(PacketKeys::from_secret(alg, &hs.server));
                 }
@@ -635,11 +685,13 @@ impl ClientConnection {
                         .negotiated_cipher()
                         .unwrap_or(qtls::CipherSuite::Aes128GcmSha256)
                         .aead();
+                    self.note(|| telemetry::EventKind::KeyDerived { level: "1rtt" });
                     self.seal_app = Some(PacketKeys::from_secret(alg, &app.client));
                     self.open_keys.app = Some(PacketKeys::from_secret(alg, &app.server));
                 }
                 TlsEvent::Complete => {
                     self.state = ConnectionState::Established;
+                    self.note(|| telemetry::EventKind::HandshakePhase { phase: "established" });
                     self.outcome = Some(HandshakeOutcome::Established);
                     if let Some(info) = self.tls.peer_info() {
                         if let Some(tp) = &info.quic_transport_params {

@@ -320,6 +320,60 @@ fn garbage_responses_do_not_wedge_the_client() {
 }
 
 #[test]
+fn tracing_buffers_key_schedule_and_phases() {
+    let mut server = endpoint(test_tls_config("example.com"));
+    let mut client = ClientConnection::new_traced(client_config(Some("example.com")), 40);
+    pump(&mut client, &mut server);
+    assert_eq!(client.state(), &ConnectionState::Established);
+    let names: Vec<&'static str> =
+        client.take_events().iter().map(|k| k.name()).collect();
+    assert_eq!(
+        names,
+        vec!["key_derived", "key_derived", "key_derived", "handshake_phase"],
+        "initial + handshake + 1rtt keys, then the established transition"
+    );
+    // Drained: a second take is empty.
+    assert!(client.take_events().is_empty());
+}
+
+#[test]
+fn untraced_connection_buffers_nothing() {
+    let mut server = endpoint(test_tls_config("example.com"));
+    let mut client = ClientConnection::new(client_config(Some("example.com")), 41);
+    pump(&mut client, &mut server);
+    assert_eq!(client.state(), &ConnectionState::Established);
+    assert!(client.take_events().is_empty());
+}
+
+#[test]
+fn tracing_records_vn_and_retry() {
+    let mut config = EndpointConfig::new(test_tls_config("example.com"));
+    config.accept_versions = vec![Version::V1];
+    config.vn_advertise = vec![Version::V1];
+    config.use_retry = true;
+    let mut server = Endpoint::new(config, 7, Box::new(|| Box::new(Echo)));
+    let mut cc = client_config(Some("example.com"));
+    cc.versions = vec![Version::DRAFT_29, Version::V1];
+    let mut client = ClientConnection::new_traced(cc, 42);
+    pump(&mut client, &mut server);
+    assert_eq!(client.state(), &ConnectionState::Established);
+    let events = client.take_events();
+    let names: Vec<&'static str> = events.iter().map(|k| k.name()).collect();
+    assert!(names.contains(&"version_negotiation"), "{names:?}");
+    assert!(names.contains(&"retry_received"), "{names:?}");
+    let vn = events
+        .iter()
+        .find_map(|k| match k {
+            telemetry::EventKind::VersionNegotiation { server_versions } => {
+                Some(server_versions.clone())
+            }
+            _ => None,
+        })
+        .unwrap();
+    assert_eq!(vn, vec![Version::V1.label()]);
+}
+
+#[test]
 fn close_reason_wording_is_surfaced() {
     // The paper fingerprints implementations by CONNECTION_CLOSE wording;
     // the client must surface the exact string.

@@ -3,25 +3,41 @@
 //!
 //! Usage:
 //!   repro [--fast|--factor F] [--out DIR] [--only tableN|figN|extras] [--workers N]
+//!         [--qlog-dir DIR]
 //!
 //! `--fast` runs at 10% population scale. Without `--only`, everything is
 //! produced. CSV exports land in `--out` (default `results/`).
+//!
+//! `--qlog-dir DIR` traces the stateful campaign: the merged per-connection
+//! event stream is written to `DIR/stateful.qlog.jsonseq` (RFC 7464 JSON
+//! text sequence), aggregated counters/histograms to `DIR/metrics.txt`, and
+//! the run fails if the event-derived failure breakdown disagrees with the
+//! table-derived one (`analysis::telemetry_audit`).
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use analysis::campaign::{Campaign, StatefulSnapshot, WeeklySnapshot};
-use analysis::{export, figures, render, tables};
+use analysis::{export, figures, render, tables, telemetry_audit};
+use telemetry::{FanoutSink, JsonSeqFileSink, MemorySink, Telemetry};
 
 struct Args {
     factor: f64,
     out: PathBuf,
     only: Option<String>,
     workers: usize,
+    qlog_dir: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { factor: 1.0, out: PathBuf::from("results"), only: None, workers: 8 };
+    let mut args = Args {
+        factor: 1.0,
+        out: PathBuf::from("results"),
+        only: None,
+        workers: 8,
+        qlog_dir: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -35,6 +51,9 @@ fn parse_args() -> Args {
             "--workers" => {
                 args.workers =
                     it.next().and_then(|v| v.parse().ok()).expect("--workers needs an integer");
+            }
+            "--qlog-dir" => {
+                args.qlog_dir = Some(PathBuf::from(it.next().expect("--qlog-dir needs a path")));
             }
             other => {
                 eprintln!("unknown argument: {other}");
@@ -52,8 +71,22 @@ fn wants(args: &Args, name: &str) -> bool {
 fn main() {
     let args = parse_args();
     std::fs::create_dir_all(&args.out).expect("create output directory");
-    let campaign =
+    let mut campaign =
         Campaign { size_factor: args.factor, seed: 0x9000, workers: args.workers, ..Default::default() };
+
+    // With --qlog-dir the stateful run is traced: the stream goes to a
+    // JSON-SEQ file on disk and, in parallel, to a memory sink the
+    // post-run audit replays.
+    let qlog_memory = args.qlog_dir.as_ref().map(|dir| {
+        std::fs::create_dir_all(dir).expect("create qlog directory");
+        let path = dir.join("stateful.qlog.jsonseq");
+        let file = JsonSeqFileSink::create(&path)
+            .unwrap_or_else(|e| panic!("create {}: {e}", path.display()));
+        let memory = Arc::new(MemorySink::new());
+        let fanout = FanoutSink::new(vec![Arc::new(file), memory.clone()]);
+        campaign.telemetry = Some(Telemetry::with_sink(Arc::new(fanout)));
+        memory
+    });
 
     eprintln!("[repro] size factor {} — running stateful campaign (week 18)…", args.factor);
     let snap = campaign.run_stateful();
@@ -62,6 +95,33 @@ fn main() {
         snap.zmap_v4.len(),
         snap.quic_sni.len()
     );
+
+    if let Some(memory) = &qlog_memory {
+        let dir = args.qlog_dir.as_ref().expect("qlog memory implies qlog dir");
+        let tel = campaign.telemetry.as_ref().expect("qlog memory implies telemetry");
+        if let Some(sink) = &tel.sink {
+            sink.flush();
+        }
+        std::fs::write(dir.join("metrics.txt"), tel.metrics.snapshot().render())
+            .expect("write metrics.txt");
+        match telemetry_audit::audit_stateful(&snap, &memory.events()) {
+            Ok(b) => eprintln!(
+                "[repro] telemetry audit ok — {} traced outcomes match the tables\n{}",
+                b.total(),
+                b.render()
+            ),
+            Err(e) => {
+                eprintln!("[repro] {e}");
+                std::process::exit(1);
+            }
+        }
+        eprintln!(
+            "[repro] qlog trace: {} ({} events); metrics: {}",
+            dir.join("stateful.qlog.jsonseq").display(),
+            memory.len(),
+            dir.join("metrics.txt").display()
+        );
+    }
 
     let needs_weekly =
         ["fig3", "fig5", "fig6", "fig7"].iter().any(|f| wants(&args, f));

@@ -11,6 +11,7 @@
 //! number, so results are identical at any worker count.
 
 use parking_lot::Mutex;
+use telemetry::{FaultKind, TraceCtx};
 
 use crate::addr::{IpAddr, SocketAddr};
 use crate::clock::{Duration, SimClock, SimTime};
@@ -233,6 +234,38 @@ impl Network {
         out: &mut Vec<Vec<u8>>,
         local: &mut LocalStats,
     ) -> SendStatus {
+        self.udp_send_traced(src, dst, payload, out, local, None)
+    }
+
+    /// [`Network::udp_send_status`] recording every fault the path injects
+    /// into `trace` as [`FaultKind`] events. Fault draws are flow-sequence
+    /// keyed, so a traced flow sees the same events at any worker count.
+    pub fn udp_send_status_traced(
+        &self,
+        src: SocketAddr,
+        dst: SocketAddr,
+        payload: &[u8],
+        out: &mut Vec<Vec<u8>>,
+        trace: &mut TraceCtx,
+    ) -> SendStatus {
+        let mut local = LocalStats::new();
+        let status = self.udp_send_traced(src, dst, payload, out, &mut local, Some(trace));
+        local.flush(&self.stats);
+        status
+    }
+
+    /// The full fault path: [`Network::udp_send_faulted`] plus an optional
+    /// trace recording each injected fault (`None` costs one branch per
+    /// fault site, nothing on the ideal fast path).
+    pub fn udp_send_traced(
+        &self,
+        src: SocketAddr,
+        dst: SocketAddr,
+        payload: &[u8],
+        out: &mut Vec<Vec<u8>>,
+        local: &mut LocalStats,
+        mut trace: Option<&mut TraceCtx>,
+    ) -> SendStatus {
         out.clear();
         local.record_send(payload.len());
         let profile = *self.path_profile(dst.ip);
@@ -250,11 +283,17 @@ impl Network {
 
         if profile.unreachable {
             local.record_drop();
+            if let Some(t) = trace.as_deref_mut() {
+                t.fault(FaultKind::Unreachable);
+            }
             return SendStatus::Unreachable;
         }
         if profile.mtu.is_some_and(|mtu| payload.len() > mtu) {
             // PMTUD black hole: indistinguishable from loss for the sender.
             local.record_drop();
+            if let Some(t) = trace.as_deref_mut() {
+                t.fault(FaultKind::MtuDrop);
+            }
             return SendStatus::Sent;
         }
 
@@ -266,22 +305,38 @@ impl Network {
                 && fault::hit(self.seed, flow, seq, fault::SALT_RATE, rl.drop_permille)
             {
                 local.record_drop();
+                if let Some(t) = trace.as_deref_mut() {
+                    t.fault(FaultKind::RateLimited);
+                }
                 return SendStatus::Throttled;
             }
         }
         if fault::hit(self.seed, flow, seq, fault::SALT_FWD_LOSS, profile.loss_permille) {
             local.record_drop();
+            if let Some(t) = trace.as_deref_mut() {
+                t.fault(FaultKind::ForwardLoss);
+            }
             return SendStatus::Sent;
         }
 
         let duplicated = fault::hit(self.seed, flow, seq, fault::SALT_DUP, profile.dup_permille);
+        if duplicated {
+            if let Some(t) = trace.as_deref_mut() {
+                t.fault(FaultKind::Duplicated);
+            }
+        }
         if self.deliver(src, dst, payload, out, duplicated) {
-            let jitter = Duration::from_micros(if profile.jitter_us > 0 {
+            let jitter_us = if profile.jitter_us > 0 {
                 fault::draw(self.seed, flow, seq, fault::SALT_JITTER) % (profile.jitter_us + 1)
             } else {
                 0
-            });
-            self.clock.advance(self.rtt + jitter);
+            };
+            if jitter_us > 0 {
+                if let Some(t) = trace.as_deref_mut() {
+                    t.fault(FaultKind::Jitter(jitter_us));
+                }
+            }
+            self.clock.advance(self.rtt + Duration::from_micros(jitter_us));
         }
 
         // Reply-path loss: one independent draw per reply datagram.
@@ -291,6 +346,9 @@ impl Network {
             idx += 1;
             if fault::hit(self.seed, flow, seq, salt, profile.loss_permille) {
                 local.record_drop();
+                if let Some(t) = trace.as_deref_mut() {
+                    t.fault(FaultKind::ReplyLoss);
+                }
                 false
             } else {
                 local.record_recv(r.len());
@@ -301,6 +359,9 @@ impl Network {
             && fault::hit(self.seed, flow, seq, fault::SALT_REORDER, profile.reorder_permille)
         {
             out.swap(0, 1);
+            if let Some(t) = trace.as_deref_mut() {
+                t.fault(FaultKind::Reordered);
+            }
         }
         SendStatus::Sent
     }
@@ -599,6 +660,35 @@ mod tests {
         );
         let replies = net.udp_send(addr(9, 1), addr(1, 443), b"x");
         assert_eq!(replies, vec![b"second".to_vec(), b"first".to_vec()]);
+    }
+
+    #[test]
+    fn traced_sends_record_injected_faults() {
+        use telemetry::{EventKind, FaultKind, TraceCtx};
+        let mut net = Network::new(7);
+        net.bind_udp(addr(1, 443), Box::new(Echo));
+        net.set_loss_permille(1000);
+        net.set_path_profile(addr(2, 0).ip, crate::fault::LinkProfile::unreachable());
+        let mut out = Vec::new();
+
+        let mut trace = TraceCtx::new(1, "10.0.0.1:443", None);
+        net.udp_send_status_traced(addr(9, 1), addr(1, 443), b"x", &mut out, &mut trace);
+        let events = trace.finish();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            events[0].kind,
+            EventKind::FaultInjected { fault: FaultKind::ForwardLoss }
+        ));
+
+        let mut trace = TraceCtx::new(2, "10.0.0.2:443", None);
+        let status =
+            net.udp_send_status_traced(addr(9, 1), addr(2, 443), b"x", &mut out, &mut trace);
+        assert_eq!(status, crate::fault::SendStatus::Unreachable);
+        let events = trace.finish();
+        assert!(matches!(
+            events[0].kind,
+            EventKind::FaultInjected { fault: FaultKind::Unreachable }
+        ));
     }
 
     #[test]

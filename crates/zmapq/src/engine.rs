@@ -18,10 +18,13 @@
 //! deduplicates replies, trading bandwidth for coverage (§3.1 discusses the
 //! equivalent trade-off for real ZMap sweeps).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::Instant;
 
 use simnet::addr::{Ipv4Addr, Ipv6Addr, Prefix};
 use simnet::{IpAddr, Network, SocketAddr};
+use telemetry::{LocalMetrics, MetricsRegistry};
 
 use crate::blocklist::Blocklist;
 use crate::feistel::FeistelPermutation;
@@ -49,6 +52,11 @@ pub struct ZmapConfig {
     /// up to this many times and at most one reply per target is recorded,
     /// recovering hosts whose first probe or reply was lost.
     pub probe_repeat: usize,
+    /// Optional metrics registry. When set, every sweep submits per-shard
+    /// counters (probes/blocked/hits), the achieved-pps gauge, and the
+    /// scan-level traffic counters after merging — from the driver thread,
+    /// in shard-index order, so submission order is deterministic.
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl ZmapConfig {
@@ -62,6 +70,7 @@ impl ZmapConfig {
             blocklist: Blocklist::new(),
             workers: 1,
             probe_repeat: 1,
+            metrics: None,
         }
     }
 }
@@ -84,6 +93,10 @@ pub struct ShardStats {
     pub virtual_us: u64,
     /// Wall-clock time this shard's thread spent scanning.
     pub wall_us: u64,
+    /// True if the shard's scan loop panicked and was cut short. Partial
+    /// results and exact traffic counters are still reported: the shard
+    /// flushes its local stats on the abort path too.
+    pub aborted: bool,
 }
 
 impl ShardStats {
@@ -160,7 +173,7 @@ impl ScanReport {
             let _ = writeln!(
                 out,
                 "  shard {}: idx [{}, {}), {} probes, {} blocked, {} hits, \
-                 {:.0} pps paced, {:.0} probes/s wall",
+                 {:.0} pps paced, {:.0} probes/s wall{}",
                 s.shard,
                 s.index_range.0,
                 s.index_range.1,
@@ -169,6 +182,7 @@ impl ScanReport {
                 s.hits,
                 s.achieved_pps(),
                 s.wall_pps(),
+                if s.aborted { " [ABORTED]" } else { "" },
             );
         }
         out
@@ -253,7 +267,34 @@ impl ZmapScanner {
             packets_received: after.2.saturating_sub(before.2),
             wall_us: wall.elapsed().as_micros() as u64,
         };
+        self.submit_metrics(&report);
         (results, report)
+    }
+
+    /// Submits per-shard counters plus the scan-level traffic counters to
+    /// the configured registry, from the driver thread in shard order.
+    fn submit_metrics(&self, report: &ScanReport) {
+        let Some(registry) = &self.config.metrics else {
+            return;
+        };
+        for s in &report.shards {
+            let mut m = LocalMetrics::new();
+            m.inc("zmap.probes", s.probes);
+            m.inc("zmap.blocked", s.blocked);
+            m.inc("zmap.hits", s.hits);
+            if s.aborted {
+                m.inc("zmap.aborted_shards", 1);
+            }
+            // Gauges sum across submissions, so per-shard paced rates add
+            // up to the aggregate achieved rate.
+            m.gauge("zmap.achieved_pps", s.achieved_pps() as u64);
+            registry.submit(s.shard as u64, m);
+        }
+        let mut m = LocalMetrics::new();
+        m.inc("zmap.packets_sent", report.packets_sent);
+        m.inc("zmap.bytes_sent", report.bytes_sent);
+        m.inc("zmap.packets_received", report.packets_received);
+        registry.submit(report.shards.len() as u64, m);
     }
 
     /// Sweeps the address space covered by `prefixes` with the QUIC VN
@@ -287,27 +328,32 @@ impl ZmapScanner {
             let mut probes = 0u64;
             let shard_wall = Instant::now();
             let v_start = net.clock.now().0;
-            for i in lo..hi {
-                let flat = perm.permute(i);
-                let addr = flat_to_addr(prefixes, &sizes, flat);
-                if self.config.blocklist.is_blocked(&addr) {
-                    blocked += 1;
-                    continue;
-                }
-                let dst = SocketAddr::new(addr, self.config.port);
-                // Duplicate-probe mode: re-probe until the target answers
-                // or the repeat budget runs out; record at most one reply.
-                for _ in 0..self.config.probe_repeat.max(1) {
-                    bucket.acquire(&net.clock);
-                    probes += 1;
-                    if let Some(hit) =
-                        module.probe_with(&mut scratch, net, self.config.source, dst, i)
-                    {
-                        results.push(hit);
-                        break;
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                for i in lo..hi {
+                    let flat = perm.permute(i);
+                    let addr = flat_to_addr(prefixes, &sizes, flat);
+                    if self.config.blocklist.is_blocked(&addr) {
+                        blocked += 1;
+                        continue;
+                    }
+                    let dst = SocketAddr::new(addr, self.config.port);
+                    // Duplicate-probe mode: re-probe until the target answers
+                    // or the repeat budget runs out; record at most one reply.
+                    for _ in 0..self.config.probe_repeat.max(1) {
+                        bucket.acquire(&net.clock);
+                        probes += 1;
+                        if let Some(hit) =
+                            module.probe_with(&mut scratch, net, self.config.source, dst, i)
+                        {
+                            results.push(hit);
+                            break;
+                        }
                     }
                 }
-            }
+            }));
+            // Flush on the abort path too: probes sent before the panic are
+            // on the wire, so the report's traffic counters must include
+            // them.
             scratch.flush_stats(net);
             let stats = ShardStats {
                 shard,
@@ -317,6 +363,7 @@ impl ZmapScanner {
                 hits: results.len() as u64,
                 virtual_us: net.clock.now().0.saturating_sub(v_start),
                 wall_us: shard_wall.elapsed().as_micros() as u64,
+                aborted: caught.is_err(),
             };
             (results, stats)
         })
@@ -347,24 +394,26 @@ impl ZmapScanner {
             let mut probes = 0u64;
             let shard_wall = Instant::now();
             let v_start = net.clock.now().0;
-            for i in lo..hi {
-                let ip = IpAddr::V6(targets[i as usize]);
-                if self.config.blocklist.is_blocked(&ip) {
-                    blocked += 1;
-                    continue;
-                }
-                let dst = SocketAddr::new(ip, self.config.port);
-                for _ in 0..self.config.probe_repeat.max(1) {
-                    bucket.acquire(&net.clock);
-                    probes += 1;
-                    if let Some(hit) =
-                        module.probe_with(&mut scratch, net, self.config.source, dst, i)
-                    {
-                        results.push(hit);
-                        break;
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                for i in lo..hi {
+                    let ip = IpAddr::V6(targets[i as usize]);
+                    if self.config.blocklist.is_blocked(&ip) {
+                        blocked += 1;
+                        continue;
+                    }
+                    let dst = SocketAddr::new(ip, self.config.port);
+                    for _ in 0..self.config.probe_repeat.max(1) {
+                        bucket.acquire(&net.clock);
+                        probes += 1;
+                        if let Some(hit) =
+                            module.probe_with(&mut scratch, net, self.config.source, dst, i)
+                        {
+                            results.push(hit);
+                            break;
+                        }
                     }
                 }
-            }
+            }));
             scratch.flush_stats(net);
             let stats = ShardStats {
                 shard,
@@ -374,6 +423,7 @@ impl ZmapScanner {
                 hits: results.len() as u64,
                 virtual_us: net.clock.now().0.saturating_sub(v_start),
                 wall_us: shard_wall.elapsed().as_micros() as u64,
+                aborted: caught.is_err(),
             };
             (results, stats)
         })
@@ -401,23 +451,25 @@ impl ZmapScanner {
             let mut probes = 0u64;
             let shard_wall = Instant::now();
             let v_start = net.clock.now().0;
-            for i in lo..hi {
-                let flat = perm.permute(i);
-                let addr = flat_to_addr(prefixes, &sizes, flat);
-                if self.config.blocklist.is_blocked(&addr) {
-                    blocked += 1;
-                    continue;
-                }
-                let dst = SocketAddr::new(addr, self.config.port);
-                for _ in 0..self.config.probe_repeat.max(1) {
-                    bucket.acquire(&net.clock);
-                    probes += 1;
-                    if crate::modules::tcp_syn::probe(net, dst) {
-                        open.push(addr);
-                        break;
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                for i in lo..hi {
+                    let flat = perm.permute(i);
+                    let addr = flat_to_addr(prefixes, &sizes, flat);
+                    if self.config.blocklist.is_blocked(&addr) {
+                        blocked += 1;
+                        continue;
+                    }
+                    let dst = SocketAddr::new(addr, self.config.port);
+                    for _ in 0..self.config.probe_repeat.max(1) {
+                        bucket.acquire(&net.clock);
+                        probes += 1;
+                        if crate::modules::tcp_syn::probe(net, dst) {
+                            open.push(addr);
+                            break;
+                        }
                     }
                 }
-            }
+            }));
             let stats = ShardStats {
                 shard,
                 index_range: (lo, hi),
@@ -426,6 +478,7 @@ impl ZmapScanner {
                 hits: open.len() as u64,
                 virtual_us: net.clock.now().0.saturating_sub(v_start),
                 wall_us: shard_wall.elapsed().as_micros() as u64,
+                aborted: caught.is_err(),
             };
             (open, stats)
         })
@@ -683,6 +736,73 @@ mod tests {
             }
             assert_eq!(next, total, "total={total} workers={workers}");
         }
+    }
+
+    /// A panicking probe target aborts only its shard: the sweep survives,
+    /// the abort is flagged, results collected before the panic are kept,
+    /// and — the regression this guards — the shard's locally buffered
+    /// traffic stats are flushed, so the report's packet counters stay
+    /// exact instead of silently undercounting the aborted shard.
+    #[test]
+    fn aborted_shard_flushes_stats_and_keeps_partial_results() {
+        struct Poison;
+        impl UdpService for Poison {
+            fn on_datagram(&mut self, _ctx: &mut ServiceCtx<'_>, _f: SocketAddr, _d: &[u8]) {
+                panic!("poisoned probe target");
+            }
+        }
+        let mut net = Network::new(5);
+        for last in [5u8, 77, 200] {
+            net.bind_udp(
+                SocketAddr::new(Ipv4Addr::new(10, 54, 0, last), 443),
+                quic_host(vec![Version::V1]),
+            );
+        }
+        net.bind_udp(SocketAddr::new(Ipv4Addr::new(10, 54, 0, 130), 443), Box::new(Poison));
+        let cfg = ZmapConfig::new(SocketAddr::new(Ipv4Addr::new(192, 0, 2, 9), 50000));
+        let scanner = ZmapScanner::new(cfg);
+        let module = QuicVnModule::new(1);
+        let prefixes = [Prefix::new(Ipv4Addr::new(10, 54, 0, 0), 24)];
+        let (hits, report) = scanner.scan_v4_with_report(&net, &prefixes, &module);
+        assert_eq!(report.shards.len(), 1);
+        assert!(report.shards[0].aborted);
+        assert!(report.summary().contains("[ABORTED]"));
+        // The walk stopped at the poisoned index, partway through the /24.
+        assert!(report.probes() < 256, "probes = {}", report.probes());
+        assert!(report.probes() > 0);
+        assert!(hits.len() <= 3);
+        // Exact accounting: every counted probe reached the shared stats,
+        // including those the aborted shard had buffered locally.
+        assert_eq!(report.packets_sent, report.probes());
+    }
+
+    /// With a registry configured, a sweep submits per-shard counters that
+    /// reconcile exactly with the `ScanReport`.
+    #[test]
+    fn sweep_submits_shard_metrics() {
+        let mut net = Network::new(5);
+        for last in [5u8, 77, 200] {
+            net.bind_udp(
+                SocketAddr::new(Ipv4Addr::new(10, 55, 0, last), 443),
+                quic_host(vec![Version::V1]),
+            );
+        }
+        let registry = Arc::new(telemetry::MetricsRegistry::new());
+        let mut cfg = ZmapConfig::new(SocketAddr::new(Ipv4Addr::new(192, 0, 2, 9), 50000));
+        cfg.workers = 2;
+        cfg.metrics = Some(registry.clone());
+        let scanner = ZmapScanner::new(cfg);
+        let module = QuicVnModule::new(1);
+        let prefixes = [Prefix::new(Ipv4Addr::new(10, 55, 0, 0), 24)];
+        let (_, report) = scanner.scan_v4_with_report(&net, &prefixes, &module);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("zmap.probes"), report.probes());
+        assert_eq!(snap.counter("zmap.hits"), report.hits());
+        assert_eq!(snap.counter("zmap.blocked"), 0);
+        assert_eq!(snap.counter("zmap.aborted_shards"), 0);
+        assert_eq!(snap.counter("zmap.packets_sent"), report.packets_sent);
+        assert_eq!(snap.counter("zmap.packets_received"), report.packets_received);
+        assert!(snap.gauge("zmap.achieved_pps") > 0);
     }
 
     #[test]

@@ -14,6 +14,7 @@ trap 'rm -f "$LOG"' EXIT
 
 cargo bench --bench paper -- campaign 2>&1 | tee "$LOG"
 cargo bench --bench sweep -- sweep 2>&1 | tee -a "$LOG"
+cargo bench --bench sweep -- telemetry 2>&1 | tee -a "$LOG"
 
 # criterion text output: "<name>  time: [<low> <unit> <mid> <unit> <high> <unit>]"
 extract() {
@@ -38,12 +39,23 @@ WEEKLY=$(extract "campaign/weekly_stateless")
 W1=$(extract "sweep/workers_1")
 W4=$(extract "sweep/workers_4")
 W8=$(extract "sweep/workers_8")
+UNTRACED=$(extract "telemetry/scan_untraced")
+TRACED=$(extract "telemetry/scan_traced")
 
-printf '{"date":"%s","commit":"%s","campaign_stateful_ms":%s,"campaign_weekly_ms":%s,"sweep_workers1_ms":%s,"sweep_workers4_ms":%s,"sweep_workers8_ms":%s}\n' \
+# targets/s for the telemetry pair: each iteration scans 64 targets
+# (TELEMETRY_BENCH_TARGETS in benches/sweep.rs).
+pps() {
+    [ -n "$1" ] && awk -v ms="$1" 'BEGIN { printf "%.1f", 64 * 1000 / ms }'
+}
+PPS_OFF=$(pps "${UNTRACED:-}")
+PPS_ON=$(pps "${TRACED:-}")
+
+printf '{"date":"%s","commit":"%s","campaign_stateful_ms":%s,"campaign_weekly_ms":%s,"sweep_workers1_ms":%s,"sweep_workers4_ms":%s,"sweep_workers8_ms":%s,"scan_pps_tracing_off":%s,"scan_pps_tracing_on":%s}\n' \
     "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
     "${STATEFUL:-null}" "${WEEKLY:-null}" \
-    "${W1:-null}" "${W4:-null}" "${W8:-null}" >> "$OUT"
+    "${W1:-null}" "${W4:-null}" "${W8:-null}" \
+    "${PPS_OFF:-null}" "${PPS_ON:-null}" >> "$OUT"
 
 echo "appended to $OUT:"
 tail -1 "$OUT"

@@ -10,4 +10,5 @@ pub use qscanner;
 pub use qtls;
 pub use quic;
 pub use simnet;
+pub use telemetry;
 pub use zmapq;

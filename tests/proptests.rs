@@ -270,6 +270,7 @@ fn weekly_fingerprint(seed: u64, loss: u32, workers: usize) -> u64 {
             seed,
             workers,
             fault: if loss == 0 { FaultPlan::none() } else { FaultPlan::calibrated(loss) },
+            telemetry: None,
         };
         campaign.run_weekly(18).fingerprint()
     };
