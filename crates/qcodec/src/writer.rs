@@ -38,6 +38,18 @@ impl Writer {
         &self.buf
     }
 
+    /// Drops the bytes written so far but keeps the allocation, so a
+    /// scratch writer can be reused across packets without reallocating.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Consumes the writer's bytes into a fresh `Vec`, leaving the writer
+    /// empty (capacity is surrendered with the returned vector).
+    pub fn take_vec(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.buf)
+    }
+
     /// Appends a single byte.
     pub fn put_u8(&mut self, v: u8) {
         self.buf.push(v);
@@ -174,6 +186,19 @@ mod tests {
         assert_eq!(v[..2], [0, 8]);
         assert_eq!(&v[2..7], b"hello");
         assert_eq!(v[7], 2);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut w = Writer::with_capacity(64);
+        w.put_bytes(&[1, 2, 3]);
+        w.clear();
+        assert!(w.is_empty());
+        w.put_u8(9);
+        assert_eq!(w.as_slice(), &[9]);
+        let v = w.take_vec();
+        assert_eq!(v, vec![9]);
+        assert!(w.is_empty());
     }
 
     #[test]

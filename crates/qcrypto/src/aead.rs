@@ -76,6 +76,16 @@ impl Aead {
         }
     }
 
+    /// Encrypts `plaintext` and appends ciphertext || tag to `out`,
+    /// reusing `out`'s existing capacity instead of allocating a fresh
+    /// vector per packet.
+    pub fn seal_into(&self, nonce: &[u8; 12], aad: &[u8], plaintext: &[u8], out: &mut Vec<u8>) {
+        match &self.inner {
+            Inner::Gcm(g) => g.seal_append(nonce, aad, plaintext, out),
+            Inner::ChaCha { key } => chacha_seal_append(key, nonce, aad, plaintext, out),
+        }
+    }
+
     /// Decrypts and authenticates ciphertext || tag.
     pub fn open(&self, nonce: &[u8; 12], aad: &[u8], ct: &[u8]) -> Result<Vec<u8>, AuthError> {
         match &self.inner {
@@ -104,11 +114,17 @@ fn chacha_mac(pk: &[u8; 32], aad: &[u8], ct: &[u8]) -> [u8; 16] {
 }
 
 fn chacha_seal(key: &[u8; 32], nonce: &[u8; 12], aad: &[u8], pt: &[u8]) -> Vec<u8> {
-    let mut out = pt.to_vec();
-    chacha20::xor(key, 1, nonce, &mut out);
-    let tag = chacha_mac(&poly_key(key, nonce), aad, &out);
-    out.extend_from_slice(&tag);
+    let mut out = Vec::with_capacity(pt.len() + 16);
+    chacha_seal_append(key, nonce, aad, pt, &mut out);
     out
+}
+
+fn chacha_seal_append(key: &[u8; 32], nonce: &[u8; 12], aad: &[u8], pt: &[u8], out: &mut Vec<u8>) {
+    let start = out.len();
+    out.extend_from_slice(pt);
+    chacha20::xor(key, 1, nonce, &mut out[start..]);
+    let tag = chacha_mac(&poly_key(key, nonce), aad, &out[start..]);
+    out.extend_from_slice(&tag);
 }
 
 fn chacha_open(
@@ -251,6 +267,22 @@ mod tests {
             assert_eq!(sealed.len(), 7 + alg.tag_len());
             assert_eq!(aead.open(&nonce, b"hdr", &sealed).unwrap(), b"payload");
             assert!(aead.open(&nonce, b"HDR", &sealed).is_err(), "{alg:?}");
+        }
+    }
+
+    /// `seal_into` appends exactly what `seal` returns, regardless of what
+    /// the output buffer already holds.
+    #[test]
+    fn seal_into_matches_seal() {
+        for alg in [AeadAlgorithm::Aes128Gcm, AeadAlgorithm::Aes256Gcm, AeadAlgorithm::ChaCha20Poly1305] {
+            let key = vec![0x22u8; alg.key_len()];
+            let aead = Aead::new(alg, &key);
+            let nonce = [5u8; 12];
+            let sealed = aead.seal(&nonce, b"aad", b"hello fast path");
+            let mut out = b"prefix".to_vec();
+            aead.seal_into(&nonce, b"aad", b"hello fast path", &mut out);
+            assert_eq!(&out[..6], b"prefix", "{alg:?}");
+            assert_eq!(&out[6..], &sealed[..], "{alg:?}");
         }
     }
 }

@@ -30,11 +30,25 @@ impl AesGcm {
     /// ciphertext || 16-byte tag.
     pub fn seal(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
         let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
-        out.extend_from_slice(plaintext);
-        self.ctr(nonce, 2, &mut out);
-        let tag = self.tag(nonce, aad, &out);
-        out.extend_from_slice(&tag);
+        self.seal_append(nonce, aad, plaintext, &mut out);
         out
+    }
+
+    /// Appends ciphertext || 16-byte tag to `out` without allocating when
+    /// `out` already has spare capacity — the QUIC packet fast path seals
+    /// directly into the datagram buffer.
+    pub fn seal_append(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        plaintext: &[u8],
+        out: &mut Vec<u8>,
+    ) {
+        let start = out.len();
+        out.extend_from_slice(plaintext);
+        self.ctr(nonce, 2, &mut out[start..]);
+        let tag = self.tag(nonce, aad, &out[start..]);
+        out.extend_from_slice(&tag);
     }
 
     /// Decrypts and authenticates `ciphertext || tag`.

@@ -55,6 +55,32 @@ pub fn expand(prk: &[u8], info: &[u8], len: usize) -> Vec<u8> {
     out
 }
 
+/// `HKDF-Expand(prk, info, out.len())` written directly into `out` —
+/// the allocation-free form used by cached key-derivation fast paths.
+/// `out.len()` must be ≤ 255 × 32.
+pub fn expand_into(prk: &[u8], info: &[u8], out: &mut [u8]) {
+    let len = out.len();
+    assert!(len <= 255 * DIGEST_LEN, "HKDF output too long");
+    let mut t: [u8; DIGEST_LEN] = [0; DIGEST_LEN];
+    let mut have_t = false;
+    let mut counter = 1u8;
+    let mut filled = 0usize;
+    while filled < len {
+        let mut mac = crate::hmac::HmacSha256::new(prk);
+        if have_t {
+            mac.update(&t);
+        }
+        mac.update(info);
+        mac.update(&[counter]);
+        t = mac.finalize();
+        have_t = true;
+        let take = (len - filled).min(DIGEST_LEN);
+        out[filled..filled + take].copy_from_slice(&t[..take]);
+        filled += take;
+        counter = counter.checked_add(1).expect("HKDF counter overflow");
+    }
+}
+
 /// TLS 1.3 `HKDF-Expand-Label(secret, label, context, len)`.
 ///
 /// The label is implicitly prefixed with `"tls13 "` as required by RFC 8446;
@@ -124,6 +150,20 @@ mod tests {
              59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71\
              cc30c58179ec3e87c14c01d5c1f3434f1d87"
         );
+    }
+
+    /// `expand_into` must agree with the allocating `expand` for every
+    /// output length class (sub-block, exact block, multi-block).
+    #[test]
+    fn expand_into_matches_expand() {
+        let prk = extract(b"salt", b"ikm");
+        let info = b"label-info";
+        for len in [1usize, 12, 16, 31, 32, 33, 64, 82] {
+            let want = expand(&prk, info, len);
+            let mut got = vec![0u8; len];
+            expand_into(&prk, info, &mut got);
+            assert_eq!(got, want, "len={len}");
+        }
     }
 
     /// RFC 9001 §A.1: derive the client Initial secret and keys from the

@@ -9,6 +9,7 @@
 //! Module layout:
 //! - [`outcome`]: targets, the [`ScanOutcome`] taxonomy, result records;
 //! - [`retry`]: the per-target budget and PTO/backoff schedules;
+//! - [`steal`]: the shared-cursor work-stealing scheduler;
 //! - [`scan`]: the [`QScanner`] driver, untraced and traced;
 //! - [`export`]: CSV result export.
 //!
@@ -21,9 +22,11 @@ pub mod export;
 pub mod outcome;
 pub mod retry;
 pub mod scan;
+pub mod steal;
 
 pub use outcome::{QuicScanResult, QuicTarget, ScanOutcome};
-pub use scan::QScanner;
+pub use scan::{QScanner, DEFAULT_MIN_PARALLEL_TARGETS};
+pub use steal::StealQueue;
 
 #[cfg(test)]
 mod tests {

@@ -114,7 +114,7 @@ impl ScanOutcome {
 }
 
 /// Everything recorded about one target.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QuicScanResult {
     /// Target address.
     pub addr: IpAddr,

@@ -11,7 +11,7 @@ use crossbeam::channel;
 
 use h3::qpack::Header;
 use h3::request::{self, Response};
-use quic::conn::{ClientConnection, ConnectionState, HandshakeOutcome};
+use quic::conn::{ClientConnection, ConnectionState, HandshakeOutcome, HandshakeScratch};
 use quic::tparams::TransportParameters;
 use quic::version::Version;
 use quic::ClientConfig;
@@ -20,6 +20,12 @@ use telemetry::{Event, EventKind, LocalMetrics, Telemetry, TraceCtx};
 
 use crate::outcome::{QuicScanResult, QuicTarget, ScanOutcome};
 use crate::retry::{BackoffSchedule, PtoSchedule, TargetBudget};
+use crate::steal::StealQueue;
+
+/// Below this many targets a scan runs sequentially: thread spin-up costs
+/// more than it saves on small inputs. One constant governs the untraced
+/// and traced drivers alike (and both scheduler flavours).
+pub const DEFAULT_MIN_PARALLEL_TARGETS: usize = 64;
 
 /// Coarse packet-space classification from the first byte of a datagram
 /// (enough for a timeline; the scanner never decrypts here).
@@ -94,6 +100,9 @@ pub struct QScanner {
     /// Total virtual-time budget per target, in microseconds, across all
     /// attempts, probe timeouts, and backoff waits.
     pub budget_us: u64,
+    /// Minimum target count before `scan_many`/`scan_many_traced` fan out
+    /// across threads (defaults to [`DEFAULT_MIN_PARALLEL_TARGETS`]).
+    pub min_parallel_targets: usize,
 }
 
 impl QScanner {
@@ -109,6 +118,7 @@ impl QScanner {
             max_ptos: 5,
             http_retries: 6,
             budget_us: 10_000_000,
+            min_parallel_targets: DEFAULT_MIN_PARALLEL_TARGETS,
         }
     }
 
@@ -144,7 +154,7 @@ impl QScanner {
     /// clock, which other workers advance concurrently), so the verdict for
     /// a target is identical at any worker count.
     pub fn scan_one(&self, net: &Network, target: &QuicTarget, index: u64) -> QuicScanResult {
-        self.scan_one_impl(net, target, index, None)
+        self.scan_one_impl(net, target, index, None, &mut HandshakeScratch::new())
     }
 
     /// [`QScanner::scan_one`] with full telemetry: returns the finished
@@ -159,10 +169,22 @@ impl QScanner {
         week: Option<u32>,
         metrics: &mut LocalMetrics,
     ) -> (QuicScanResult, Vec<Event>) {
+        self.scan_one_traced_reusing(net, target, index, week, metrics, &mut HandshakeScratch::new())
+    }
+
+    fn scan_one_traced_reusing(
+        &self,
+        net: &Network,
+        target: &QuicTarget,
+        index: u64,
+        week: Option<u32>,
+        metrics: &mut LocalMetrics,
+        scratch: &mut HandshakeScratch,
+    ) -> (QuicScanResult, Vec<Event>) {
         let mut ctx = TraceCtx::new(index, target.trace_label(), week);
         let result = {
             let mut obs = Obs { ctx: &mut ctx, metrics };
-            self.scan_one_impl(net, target, index, Some(&mut obs))
+            self.scan_one_impl(net, target, index, Some(&mut obs), scratch)
         };
         metrics.inc("qscanner.targets", 1);
         metrics.inc(outcome_counter(&result.outcome), 1);
@@ -177,6 +199,7 @@ impl QScanner {
         target: &QuicTarget,
         index: u64,
         mut obs: Option<&mut Obs<'_>>,
+        scratch: &mut HandshakeScratch,
     ) -> QuicScanResult {
         let dst = SocketAddr::new(target.addr, target.port);
         let rtt_us = net.rtt().as_micros().max(1);
@@ -217,9 +240,9 @@ impl QScanner {
                             .unwrap_or_else(|| Version::V1.label()),
                     });
                     o.metrics.inc("qscanner.attempts", 1);
-                    ClientConnection::new_traced(config, seed)
+                    ClientConnection::new_traced_reusing(config, seed, scratch)
                 }
-                None => ClientConnection::new(config, seed),
+                None => ClientConnection::new_reusing(config, seed, scratch),
             };
             drain_conn_events(&mut conn, &mut obs);
 
@@ -289,6 +312,7 @@ impl QScanner {
                         conn.on_datagram(&reply);
                     }
                     drain_conn_events(&mut conn, &mut obs);
+                    conn.recycle_datagram(datagram);
                 }
                 if unreachable || conn.state() != &ConnectionState::Handshaking {
                     break;
@@ -297,11 +321,28 @@ impl QScanner {
 
             if unreachable {
                 result.outcome = ScanOutcome::Unreachable;
+                conn.recycle_into(scratch);
                 return result;
             }
 
-            match conn.outcome() {
-                Some(HandshakeOutcome::Established) => {
+            let verdict = match conn.outcome() {
+                Some(HandshakeOutcome::Established) => Some(ScanOutcome::Success),
+                Some(HandshakeOutcome::VersionMismatch { .. }) => {
+                    Some(ScanOutcome::VersionMismatch)
+                }
+                Some(HandshakeOutcome::TransportClose { code, reason }) => {
+                    Some(ScanOutcome::TransportClose { code: code.0, reason: reason.clone() })
+                }
+                Some(HandshakeOutcome::TlsFailure(e)) => {
+                    Some(ScanOutcome::Other(format!("tls: {e}")))
+                }
+                Some(HandshakeOutcome::ProtocolError(e)) => {
+                    Some(ScanOutcome::Other(format!("protocol: {e}")))
+                }
+                None => None,
+            };
+            match verdict {
+                Some(ScanOutcome::Success) => {
                     result.version = Some(conn.version());
                     result.tls = conn.tls_info().cloned();
                     result.transport_params = conn.peer_transport_params().cloned();
@@ -310,28 +351,18 @@ impl QScanner {
                             self.fetch_http(net, target, src, dst, &mut conn, obs.as_deref_mut());
                     }
                     result.outcome = ScanOutcome::Success;
+                    conn.recycle_into(scratch);
                     return result;
                 }
-                Some(HandshakeOutcome::VersionMismatch { .. }) => {
-                    result.outcome = ScanOutcome::VersionMismatch;
-                    return result;
-                }
-                Some(HandshakeOutcome::TransportClose { code, reason }) => {
-                    result.outcome =
-                        ScanOutcome::TransportClose { code: code.0, reason: reason.clone() };
-                    return result;
-                }
-                Some(HandshakeOutcome::TlsFailure(e)) => {
-                    result.outcome = ScanOutcome::Other(format!("tls: {e}"));
-                    return result;
-                }
-                Some(HandshakeOutcome::ProtocolError(e)) => {
-                    result.outcome = ScanOutcome::Other(format!("protocol: {e}"));
+                Some(outcome) => {
+                    result.outcome = outcome;
+                    conn.recycle_into(scratch);
                     return result;
                 }
                 None => {
                     // No verdict this attempt: back off and retry from a
                     // fresh port while budget remains.
+                    conn.recycle_into(scratch);
                     let wait_us = backoff.wait_us();
                     if !budget.try_charge(wait_us) {
                         break;
@@ -428,6 +459,7 @@ impl QScanner {
                         conn.on_datagram(&reply);
                     }
                     drain_conn_events(conn, &mut obs);
+                    conn.recycle_datagram(datagram);
                 }
             }
             for s in conn.poll_streams() {
@@ -449,8 +481,18 @@ impl QScanner {
         target: &QuicTarget,
         index: u64,
     ) -> QuicScanResult {
+        self.scan_one_isolated_reusing(net, target, index, &mut HandshakeScratch::new())
+    }
+
+    fn scan_one_isolated_reusing(
+        &self,
+        net: &Network,
+        target: &QuicTarget,
+        index: u64,
+        scratch: &mut HandshakeScratch,
+    ) -> QuicScanResult {
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.scan_one(net, target, index)
+            self.scan_one_impl(net, target, index, None, scratch)
         }));
         match caught {
             Ok(r) => r,
@@ -468,8 +510,27 @@ impl QScanner {
         week: Option<u32>,
         metrics: &mut LocalMetrics,
     ) -> (QuicScanResult, Vec<Event>) {
+        self.scan_one_traced_isolated_reusing(
+            net,
+            target,
+            index,
+            week,
+            metrics,
+            &mut HandshakeScratch::new(),
+        )
+    }
+
+    fn scan_one_traced_isolated_reusing(
+        &self,
+        net: &Network,
+        target: &QuicTarget,
+        index: u64,
+        week: Option<u32>,
+        metrics: &mut LocalMetrics,
+        scratch: &mut HandshakeScratch,
+    ) -> (QuicScanResult, Vec<Event>) {
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.scan_one_traced(net, target, index, week, metrics)
+            self.scan_one_traced_reusing(net, target, index, week, metrics, scratch)
         }));
         match caught {
             Ok(r) => r,
@@ -484,18 +545,91 @@ impl QScanner {
         }
     }
 
-    /// Scans targets across `workers` threads.
+    /// Scans targets across `workers` threads with work stealing: workers
+    /// claim small index batches off a shared cursor (see [`StealQueue`]),
+    /// so a run of slow targets — PTO-retrying, rate-limited — spreads over
+    /// whoever is free instead of idling everyone behind one static chunk.
+    /// Results are merged in scan-index order and are byte-identical to the
+    /// sequential and [`QScanner::scan_many_chunked`] drivers at any worker
+    /// count, because nothing a target does depends on which worker ran it.
     pub fn scan_many(
         &self,
         net: &Network,
         targets: &[QuicTarget],
         workers: usize,
     ) -> Vec<QuicScanResult> {
-        if workers <= 1 || targets.len() < 64 {
+        self.scan_many_stats(net, targets, workers).0
+    }
+
+    /// [`QScanner::scan_many`], also reporting how many targets each worker
+    /// ended up scanning (one entry per worker; a single entry for the
+    /// sequential small-input path). The counts are diagnostics only — the
+    /// straggler regression test uses them to assert skewed load spreads.
+    pub fn scan_many_stats(
+        &self,
+        net: &Network,
+        targets: &[QuicTarget],
+        workers: usize,
+    ) -> (Vec<QuicScanResult>, Vec<usize>) {
+        if workers <= 1 || targets.len() < self.min_parallel_targets {
+            let mut scratch = HandshakeScratch::new();
+            let results = targets
+                .iter()
+                .enumerate()
+                .map(|(i, t)| self.scan_one_isolated_reusing(net, t, i as u64, &mut scratch))
+                .collect();
+            return (results, vec![targets.len()]);
+        }
+        let queue = StealQueue::new(targets.len(), workers);
+        let (tx, rx) = channel::unbounded::<(usize, QuicScanResult)>();
+        let counts = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let tx = tx.clone();
+                    let queue = &queue;
+                    scope.spawn(move || {
+                        let mut scratch = HandshakeScratch::new();
+                        let mut scanned = 0usize;
+                        while let Some(range) = queue.claim() {
+                            for i in range {
+                                let r = self.scan_one_isolated_reusing(
+                                    net,
+                                    &targets[i],
+                                    i as u64,
+                                    &mut scratch,
+                                );
+                                let _ = tx.send((i, r));
+                                scanned += 1;
+                            }
+                        }
+                        scanned
+                    })
+                })
+                .collect();
+            drop(tx);
+            handles.into_iter().map(|h| h.join().unwrap_or(0)).collect()
+        });
+        let mut indexed: Vec<(usize, QuicScanResult)> = rx.into_iter().collect();
+        indexed.sort_by_key(|(i, _)| *i);
+        (indexed.into_iter().map(|(_, r)| r).collect(), counts)
+    }
+
+    /// The retired static-chunk driver: each worker owns one contiguous
+    /// slice, fixed up front. Kept as the baseline the work-stealing
+    /// scheduler is benchmarked and regression-tested against; results are
+    /// byte-identical to [`QScanner::scan_many`].
+    pub fn scan_many_chunked(
+        &self,
+        net: &Network,
+        targets: &[QuicTarget],
+        workers: usize,
+    ) -> Vec<QuicScanResult> {
+        if workers <= 1 || targets.len() < self.min_parallel_targets {
+            let mut scratch = HandshakeScratch::new();
             return targets
                 .iter()
                 .enumerate()
-                .map(|(i, t)| self.scan_one_isolated(net, t, i as u64))
+                .map(|(i, t)| self.scan_one_isolated_reusing(net, t, i as u64, &mut scratch))
                 .collect();
         }
         let (tx, rx) = channel::unbounded::<(usize, QuicScanResult)>();
@@ -504,9 +638,10 @@ impl QScanner {
             for (w, slice) in targets.chunks(chunk).enumerate() {
                 let tx = tx.clone();
                 scope.spawn(move || {
+                    let mut scratch = HandshakeScratch::new();
                     for (j, t) in slice.iter().enumerate() {
                         let index = (w * chunk + j) as u64;
-                        let r = self.scan_one_isolated(net, t, index);
+                        let r = self.scan_one_isolated_reusing(net, t, index, &mut scratch);
                         let _ = tx.send((w * chunk + j, r));
                     }
                 });
@@ -518,10 +653,12 @@ impl QScanner {
         indexed.into_iter().map(|(_, r)| r).collect()
     }
 
-    /// [`QScanner::scan_many`] with telemetry: per-target event lists are
-    /// merged **in scan-index order** into the sink (so the stream is
-    /// byte-identical at any worker count) and each worker submits its
-    /// metric set to the registry once.
+    /// [`QScanner::scan_many`] with telemetry: the work-stealing fan-out,
+    /// with per-target event lists merged **in scan-index order** into the
+    /// sink (so the stream is byte-identical at any worker count and under
+    /// either scheduler) and each worker submitting its metric set to the
+    /// registry once. Metric merges commute, so the merged snapshot is also
+    /// schedule-independent.
     pub fn scan_many_traced(
         &self,
         net: &Network,
@@ -530,17 +667,96 @@ impl QScanner {
         week: Option<u32>,
         telemetry: &Telemetry,
     ) -> Vec<QuicScanResult> {
-        if workers <= 1 || targets.len() < 64 {
+        self.scan_many_traced_stats(net, targets, workers, week, telemetry).0
+    }
+
+    /// [`QScanner::scan_many_traced`], also reporting per-worker target
+    /// counts (see [`QScanner::scan_many_stats`]).
+    pub fn scan_many_traced_stats(
+        &self,
+        net: &Network,
+        targets: &[QuicTarget],
+        workers: usize,
+        week: Option<u32>,
+        telemetry: &Telemetry,
+    ) -> (Vec<QuicScanResult>, Vec<usize>) {
+        if workers <= 1 || targets.len() < self.min_parallel_targets {
             let mut metrics = LocalMetrics::new();
+            let mut scratch = HandshakeScratch::new();
             let mut results = Vec::with_capacity(targets.len());
             for (i, t) in targets.iter().enumerate() {
-                let (r, events) =
-                    self.scan_one_traced_isolated(net, t, i as u64, week, &mut metrics);
+                let (r, events) = self.scan_one_traced_isolated_reusing(
+                    net,
+                    t,
+                    i as u64,
+                    week,
+                    &mut metrics,
+                    &mut scratch,
+                );
                 telemetry.emit_all(&events);
                 results.push(r);
             }
             telemetry.metrics.submit(0, metrics);
-            return results;
+            return (results, vec![targets.len()]);
+        }
+        let queue = StealQueue::new(targets.len(), workers);
+        let (tx, rx) = channel::unbounded::<(usize, QuicScanResult, Vec<Event>)>();
+        let counts = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let tx = tx.clone();
+                    let queue = &queue;
+                    let registry = telemetry.metrics.clone();
+                    scope.spawn(move || {
+                        let mut metrics = LocalMetrics::new();
+                        let mut scratch = HandshakeScratch::new();
+                        let mut scanned = 0usize;
+                        while let Some(range) = queue.claim() {
+                            for i in range {
+                                let (r, events) = self.scan_one_traced_isolated_reusing(
+                                    net,
+                                    &targets[i],
+                                    i as u64,
+                                    week,
+                                    &mut metrics,
+                                    &mut scratch,
+                                );
+                                let _ = tx.send((i, r, events));
+                                scanned += 1;
+                            }
+                        }
+                        registry.submit(w as u64, metrics);
+                        scanned
+                    })
+                })
+                .collect();
+            drop(tx);
+            handles.into_iter().map(|h| h.join().unwrap_or(0)).collect()
+        });
+        let mut indexed: Vec<(usize, QuicScanResult, Vec<Event>)> = rx.into_iter().collect();
+        indexed.sort_by_key(|(i, _, _)| *i);
+        let mut results = Vec::with_capacity(indexed.len());
+        for (_, r, events) in indexed {
+            telemetry.emit_all(&events);
+            results.push(r);
+        }
+        (results, counts)
+    }
+
+    /// The static-chunk traced driver, kept as the regression baseline for
+    /// [`QScanner::scan_many_traced`]: results, the merged event stream, and
+    /// the merged metrics snapshot must all be byte-identical between the
+    /// two schedulers.
+    pub fn scan_many_traced_chunked(
+        &self,
+        net: &Network,
+        targets: &[QuicTarget],
+        workers: usize,
+        week: Option<u32>,
+        telemetry: &Telemetry,
+    ) -> Vec<QuicScanResult> {
+        if workers <= 1 || targets.len() < self.min_parallel_targets {
+            return self.scan_many_traced(net, targets, workers, week, telemetry);
         }
         let (tx, rx) = channel::unbounded::<(usize, QuicScanResult, Vec<Event>)>();
         std::thread::scope(|scope| {
@@ -550,14 +766,16 @@ impl QScanner {
                 let registry = telemetry.metrics.clone();
                 scope.spawn(move || {
                     let mut metrics = LocalMetrics::new();
+                    let mut scratch = HandshakeScratch::new();
                     for (j, t) in slice.iter().enumerate() {
                         let index = w * chunk + j;
-                        let (r, events) = self.scan_one_traced_isolated(
+                        let (r, events) = self.scan_one_traced_isolated_reusing(
                             net,
                             t,
                             index as u64,
                             week,
                             &mut metrics,
+                            &mut scratch,
                         );
                         let _ = tx.send((index, r, events));
                     }

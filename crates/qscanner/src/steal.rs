@@ -1,0 +1,127 @@
+//! Deterministic work-stealing over a target index space.
+//!
+//! A static chunk split assigns each worker a fixed contiguous slice up
+//! front; one slice full of PTO-retrying or rate-limited targets then idles
+//! every other worker while its owner grinds through the stragglers. The
+//! [`StealQueue`] replaces the split with a single shared cursor: workers
+//! claim small index batches as they go, so slow targets spread across
+//! whoever is free instead of serializing behind one thread.
+//!
+//! Scheduling stays irrelevant to results by construction — which worker
+//! scans a target never feeds into the scan itself (per-target ports, seeds,
+//! budgets, and trace timestamps all derive from the scan index alone), and
+//! the driver still merges results and telemetry in scan-index order.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Upper bound on one claim, keeping the tail fine-grained enough that a
+/// late batch of stragglers still spreads across workers.
+const MAX_BATCH: usize = 32;
+
+/// Shared claim cursor over `0..total`.
+///
+/// Batch sizes follow guided self-scheduling: a claim takes
+/// `remaining / (4 * workers)` indices (clamped to `1..=`[`MAX_BATCH`]), so
+/// early claims amortize the cursor contention and late claims shrink to
+/// single targets for the final balancing.
+pub struct StealQueue {
+    cursor: AtomicUsize,
+    total: usize,
+    workers: usize,
+}
+
+impl StealQueue {
+    /// A queue over `0..total`, tuned for `workers` concurrent claimants.
+    pub fn new(total: usize, workers: usize) -> Self {
+        StealQueue { cursor: AtomicUsize::new(0), total, workers: workers.max(1) }
+    }
+
+    /// Claims the next batch of indices, or `None` once the space is
+    /// exhausted. Claims are disjoint and cover `0..total` exactly.
+    pub fn claim(&self) -> Option<Range<usize>> {
+        loop {
+            let start = self.cursor.load(Ordering::Relaxed);
+            if start >= self.total {
+                return None;
+            }
+            let remaining = self.total - start;
+            let batch = (remaining / (4 * self.workers)).clamp(1, MAX_BATCH).min(remaining);
+            let end = start + batch;
+            if self
+                .cursor
+                .compare_exchange_weak(start, end, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Some(start..end);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_cover_space_exactly_once() {
+        let q = StealQueue::new(1000, 4);
+        let mut next = 0usize;
+        while let Some(r) = q.claim() {
+            assert_eq!(r.start, next, "claims must be contiguous");
+            assert!(r.end > r.start && r.end <= 1000);
+            next = r.end;
+        }
+        assert_eq!(next, 1000);
+        assert!(q.claim().is_none());
+    }
+
+    #[test]
+    fn batches_shrink_toward_the_tail() {
+        let q = StealQueue::new(1000, 4);
+        let first = q.claim().unwrap();
+        assert_eq!(first.len(), 32, "big remaining → MAX_BATCH");
+        let mut last = first;
+        while let Some(r) = q.claim() {
+            last = r;
+        }
+        assert_eq!(last.len(), 1, "final claims are single targets");
+    }
+
+    #[test]
+    fn concurrent_claims_are_disjoint() {
+        let q = StealQueue::new(500, 8);
+        let claimed: Vec<Vec<Range<usize>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut mine = Vec::new();
+                        while let Some(r) = q.claim() {
+                            mine.push(r);
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut seen = vec![false; 500];
+        for r in claimed.into_iter().flatten() {
+            for i in r {
+                assert!(!seen[i], "index {i} claimed twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|s| s), "every index claimed");
+    }
+
+    #[test]
+    fn zero_workers_and_tiny_spaces() {
+        let q = StealQueue::new(3, 0);
+        assert_eq!(q.claim(), Some(0..1));
+        assert_eq!(q.claim(), Some(1..2));
+        assert_eq!(q.claim(), Some(2..3));
+        assert_eq!(q.claim(), None);
+        assert!(StealQueue::new(0, 4).claim().is_none());
+    }
+}

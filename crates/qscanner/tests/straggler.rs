@@ -1,0 +1,142 @@
+//! Straggler regression test for the work-stealing scan driver.
+//!
+//! The scenario the scheduler exists for: a contiguous slice of targets that
+//! all burn their full PTO/attempt budget (silent VN-only middleboxes under
+//! packet loss) lands in one worker's static chunk and serializes the sweep
+//! behind that worker. Work stealing must spread the slice — while leaving
+//! results, the merged telemetry event stream, and the merged metrics
+//! snapshot byte-identical to the static-chunk baseline at any worker count.
+
+use std::sync::Arc;
+
+use internet::{Universe, UniverseConfig};
+use qscanner::{QScanner, QuicScanResult, QuicTarget, ScanOutcome};
+use simnet::addr::Ipv4Addr;
+use simnet::{IpAddr, Network};
+use telemetry::{Event, MemorySink, MetricsSnapshot, Telemetry};
+
+fn vantage() -> IpAddr {
+    IpAddr::V4(Ipv4Addr::new(192, 0, 2, 10))
+}
+
+/// 96 targets: fast Cloudflare handshakes everywhere except one contiguous
+/// slice (indices 24..48) of silent VN-only middleboxes, each of which burns
+/// the whole PTO schedule across every attempt before the scanner gives up.
+fn skewed_targets(u: &Universe) -> Vec<QuicTarget> {
+    // SNI scans of Cloudflare customer domains — the handshake-completing
+    // fast path (a no-SNI probe of the same host ends in a 0x128 close).
+    let fast: Vec<QuicTarget> = u
+        .domains
+        .iter()
+        .filter(|d| d.name.contains("cf-customer") && !d.v4_hosts.is_empty())
+        .map(|d| {
+            let host = &u.hosts[d.v4_hosts[0] as usize];
+            QuicTarget::new(IpAddr::V4(host.v4.unwrap()), Some(d.name.clone()))
+        })
+        .collect();
+    let slow: Vec<&internet::HostSpec> = u
+        .hosts
+        .iter()
+        .filter(|h| h.provider == "akamai" && h.v4.is_some())
+        .collect();
+    assert!(!fast.is_empty() && !slow.is_empty(), "universe lacks needed providers");
+    let mut targets = Vec::with_capacity(96);
+    for i in 0..96 {
+        if (24..48).contains(&i) {
+            let host = slow[i % slow.len()];
+            targets.push(QuicTarget::new(IpAddr::V4(host.v4.unwrap()), None));
+        } else {
+            targets.push(fast[i % fast.len()].clone());
+        }
+    }
+    targets
+}
+
+fn lossy_net(u: &Universe) -> Network {
+    // Fresh network per run (server endpoints keep per-flow state), with the
+    // calibrated 50‰ fault plan from the loss-tolerance work.
+    let mut net = u.build_network();
+    net.set_loss_permille(50);
+    net
+}
+
+/// One traced run; returns (results, events, merged metrics, per-worker counts).
+fn run_traced(
+    scanner: &QScanner,
+    u: &Universe,
+    targets: &[QuicTarget],
+    workers: usize,
+    chunked: bool,
+) -> (Vec<QuicScanResult>, Vec<Event>, MetricsSnapshot, Vec<usize>) {
+    let sink = Arc::new(MemorySink::new());
+    let telemetry = Telemetry::with_sink(sink.clone());
+    let net = lossy_net(u);
+    let (results, counts) = if chunked {
+        let r = scanner.scan_many_traced_chunked(&net, targets, workers, Some(18), &telemetry);
+        (r, Vec::new())
+    } else {
+        scanner.scan_many_traced_stats(&net, targets, workers, Some(18), &telemetry)
+    };
+    (results, sink.events(), telemetry.metrics.snapshot(), counts)
+}
+
+#[test]
+fn stealing_matches_chunked_baseline_byte_for_byte() {
+    let u = Universe::generate(UniverseConfig::tiny(18));
+    let scanner = QScanner::new(vantage(), 1);
+    let targets = skewed_targets(&u);
+
+    // The skew is real: the slow slice actually stalls (silence, not loss).
+    let (baseline, base_events, base_metrics, _) = run_traced(&scanner, &u, &targets, 4, true);
+    assert!(
+        (24..48).all(|i| baseline[i].outcome == ScanOutcome::NoReply),
+        "slow slice should time out silently"
+    );
+    let successes = baseline.iter().filter(|r| r.outcome == ScanOutcome::Success).count();
+    assert!(successes >= 40, "fast targets should mostly succeed, got {successes}");
+
+    for workers in [1usize, 4, 8] {
+        let (results, events, metrics, _) = run_traced(&scanner, &u, &targets, workers, false);
+        assert_eq!(results, baseline, "results diverged at {workers} workers");
+        assert_eq!(events, base_events, "event stream diverged at {workers} workers");
+        // Byte-identical, not merely structurally equal.
+        let base_json: String = base_events.iter().map(|e| e.to_json()).collect();
+        let json: String = events.iter().map(|e| e.to_json()).collect();
+        assert_eq!(json, base_json);
+        assert_eq!(metrics, base_metrics, "metrics diverged at {workers} workers");
+        assert_eq!(metrics.render(), base_metrics.render());
+    }
+}
+
+#[test]
+fn stealing_spreads_the_slow_slice() {
+    let u = Universe::generate(UniverseConfig::tiny(18));
+    let scanner = QScanner::new(vantage(), 1);
+    let targets = skewed_targets(&u);
+
+    let (results, counts) = scanner.scan_many_stats(&lossy_net(&u), &targets, 4);
+    assert_eq!(results.len(), targets.len());
+    assert_eq!(counts.len(), 4);
+    assert_eq!(counts.iter().sum::<usize>(), targets.len(), "counts {counts:?}");
+    // Work actually spread: no worker swept the whole space, and more than
+    // one worker scanned something. (Stronger balance assertions would race
+    // the OS scheduler on single-CPU runners.)
+    assert!(*counts.iter().max().unwrap() < targets.len(), "counts {counts:?}");
+    assert!(counts.iter().filter(|&&c| c > 0).count() >= 2, "counts {counts:?}");
+}
+
+#[test]
+fn untraced_drivers_agree_under_loss() {
+    let u = Universe::generate(UniverseConfig::tiny(18));
+    let scanner = QScanner::new(vantage(), 1);
+    let targets = skewed_targets(&u);
+
+    let stealing = scanner.scan_many(&lossy_net(&u), &targets, 4);
+    let chunked = scanner.scan_many_chunked(&lossy_net(&u), &targets, 4);
+    assert_eq!(stealing, chunked);
+
+    // And without the fault plan.
+    let clean_stealing = scanner.scan_many(&u.build_network(), &targets, 8);
+    let clean_chunked = scanner.scan_many_chunked(&u.build_network(), &targets, 8);
+    assert_eq!(clean_stealing, clean_chunked);
+}

@@ -175,10 +175,11 @@ impl ClientHandshake {
         level: Level,
         bytes: &[u8],
     ) -> Result<Vec<TlsEvent>, TlsError> {
-        let msgs = Handshake::decode_stream(bytes).map_err(|_| TlsError::Decode("handshake"))?;
+        let msgs =
+            Handshake::decode_stream_raw(bytes).map_err(|_| TlsError::Decode("handshake"))?;
         let mut events = Vec::new();
-        for msg in msgs {
-            self.on_message(level, msg, &mut events)?;
+        for (msg, raw) in msgs {
+            self.on_message(level, msg, raw, &mut events)?;
         }
         Ok(events)
     }
@@ -187,6 +188,7 @@ impl ClientHandshake {
         &mut self,
         level: Level,
         msg: Handshake,
+        raw: &[u8],
         events: &mut Vec<TlsEvent>,
     ) -> Result<(), TlsError> {
         match (&self.state, msg) {
@@ -194,8 +196,9 @@ impl ClientHandshake {
                 if level != Level::Initial {
                     return Err(TlsError::UnexpectedMessage("ServerHello level"));
                 }
-                let encoded = Handshake::ServerHello(sh.clone()).encode();
-                self.transcript.add(&encoded);
+                // Transcripts hash the received wire bytes directly — no
+                // clone-and-re-encode per message.
+                self.transcript.add(raw);
 
                 let cipher = CipherSuite::from_wire(sh.cipher_suite);
                 let mut selected_version = None;
@@ -255,8 +258,7 @@ impl ClientHandshake {
                 Ok(())
             }
             (State::WaitEncrypted, Handshake::EncryptedExtensions(exts)) => {
-                let encoded = Handshake::EncryptedExtensions(exts.clone()).encode();
-                self.transcript.add(&encoded);
+                self.transcript.add(raw);
                 for ext in &exts {
                     self.server_ext_codes.push(ext.type_code());
                     match ext {
@@ -273,12 +275,11 @@ impl ClientHandshake {
                 Ok(())
             }
             (State::WaitEncrypted, Handshake::Certificate(chain)) => {
-                let encoded = Handshake::Certificate(chain.clone()).encode();
-                self.transcript.add(&encoded);
+                self.transcript.add(raw);
                 self.pending_certs = chain;
                 Ok(())
             }
-            (State::WaitEncrypted, Handshake::CertificateVerify(scheme, sig)) => {
+            (State::WaitEncrypted, Handshake::CertificateVerify(_scheme, sig)) => {
                 // SimSig verification: HMAC(leaf public key, context || hash).
                 let th = self.transcript.hash();
                 let leaf = self
@@ -293,8 +294,7 @@ impl ClientHandshake {
                         "CertificateVerify mismatch",
                     ));
                 }
-                let encoded = Handshake::CertificateVerify(scheme, sig).encode();
-                self.transcript.add(&encoded);
+                self.transcript.add(raw);
                 Ok(())
             }
             (State::WaitEncrypted, Handshake::Finished(verify)) => {
@@ -304,8 +304,7 @@ impl ClientHandshake {
                     self.state = State::Failed;
                     return Err(TlsError::BadFinished);
                 }
-                let encoded = Handshake::Finished(verify).encode();
-                self.transcript.add(&encoded);
+                self.transcript.add(raw);
                 // Application secrets from transcript through server Finished.
                 let th_fin = self.transcript.hash();
                 let app = app_secrets(&hs, &th_fin);

@@ -181,10 +181,28 @@ impl Handshake {
 
     /// Decodes a concatenated stream of handshake messages.
     pub fn decode_stream(bytes: &[u8]) -> Result<Vec<Handshake>> {
-        let mut r = Reader::new(bytes);
+        Ok(Handshake::decode_stream_raw(bytes)?.into_iter().map(|(msg, _)| msg).collect())
+    }
+
+    /// Like [`Handshake::decode_stream`], but pairs each message with the raw
+    /// wire bytes it was parsed from. Transcript maintenance hashes these
+    /// slices directly instead of cloning and re-encoding each message.
+    pub fn decode_stream_raw(bytes: &[u8]) -> Result<Vec<(Handshake, &[u8])>> {
         let mut out = Vec::new();
-        while !r.is_empty() {
-            out.push(Handshake::decode(&mut r)?);
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            if rest.len() < 4 {
+                return Err(CodecError::Invalid("truncated handshake header"));
+            }
+            let body_len = u32::from_be_bytes([0, rest[1], rest[2], rest[3]]) as usize;
+            let total = 4 + body_len;
+            if rest.len() < total {
+                return Err(CodecError::Invalid("truncated handshake message"));
+            }
+            let raw = &rest[..total];
+            let mut r = Reader::new(raw);
+            out.push((Handshake::decode(&mut r)?, raw));
+            rest = &rest[total..];
         }
         Ok(out)
     }
@@ -248,6 +266,21 @@ mod tests {
         bytes.extend_from_slice(&fin.encode());
         let msgs = Handshake::decode_stream(&bytes).unwrap();
         assert_eq!(msgs, vec![cv, fin]);
+    }
+
+    #[test]
+    fn decode_stream_raw_slices_match_encoding() {
+        let fin = Handshake::Finished(vec![0xbb; 32]);
+        let cv = Handshake::CertificateVerify(0x0807, vec![4; 32]);
+        let mut bytes = cv.encode();
+        bytes.extend_from_slice(&fin.encode());
+        let msgs = Handshake::decode_stream_raw(&bytes).unwrap();
+        assert_eq!(msgs.len(), 2);
+        for (msg, raw) in &msgs {
+            assert_eq!(&msg.encode(), raw);
+        }
+        assert!(Handshake::decode_stream_raw(&bytes[..bytes.len() - 1]).is_err());
+        assert!(Handshake::decode_stream_raw(&[20, 0]).is_err());
     }
 
     #[test]

@@ -323,6 +323,24 @@ impl TlsTcpServer {
         }
     }
 
+    /// Like [`TlsTcpServer::new`], sharing the endpoint's per-SNI certificate
+    /// cache across connections. Draws the same RNG bytes as `new`.
+    pub fn with_cert_cache(
+        config: Arc<ServerConfig>,
+        cache: Arc<crate::server::CertCache>,
+        rng: &mut dyn RngCore,
+    ) -> Self {
+        TlsTcpServer {
+            hs: ServerHandshake::with_overrides(config, None, Some(cache), rng),
+            channel: Channel::new(),
+            app_secrets: None,
+            app_plaintext: Vec::new(),
+            complete: false,
+            legacy: false,
+            alert_sent: None,
+        }
+    }
+
     /// Feeds client bytes; returns server bytes. On handshake failure an
     /// alert record is returned and the connection is poisoned.
     pub fn on_bytes(&mut self, data: &[u8]) -> Vec<u8> {

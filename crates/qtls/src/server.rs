@@ -6,7 +6,8 @@
 //! certificate, ALPN policy, cipher/group preferences, whether the empty
 //! server_name acknowledgment is sent, and a TLS 1.2-only legacy mode.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use rand::RngCore;
 
@@ -108,6 +109,45 @@ enum State {
     Failed,
 }
 
+/// A selected certificate together with its encoded Certificate message.
+struct CachedChain {
+    cert: Certificate,
+    encoded: Vec<u8>,
+}
+
+/// Upper bound on distinct SNI entries before the cache resets — keeps a scan
+/// over arbitrarily many names from growing the map without bound.
+const CERT_CACHE_MAX: usize = 1024;
+
+/// Per-SNI certificate cache shared across an endpoint's connections.
+///
+/// Certificate selection and the encoded Certificate message depend only on
+/// the (config, SNI) pair, so each distinct name pays the lookup and
+/// serialization cost once per endpoint instead of once per handshake.
+/// Freshly minted no-SNI error certificates embed a per-connection serial and
+/// are never cached.
+#[derive(Default)]
+pub struct CertCache {
+    entries: Mutex<HashMap<String, Arc<CachedChain>>>,
+}
+
+impl CertCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        CertCache::default()
+    }
+
+    /// Number of cached (SNI → chain) entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// Sans-IO TLS 1.3 server handshake (one instance per connection).
 pub struct ServerHandshake {
     config: Arc<ServerConfig>,
@@ -119,6 +159,10 @@ pub struct ServerHandshake {
     kx_secret: [u8; 32],
     serial_nonce: u64,
     negotiated_cipher: Option<CipherSuite>,
+    /// Per-connection QUIC transport parameters overriding the config's.
+    tp_override: Option<Vec<u8>>,
+    /// Shared per-SNI certificate cache, when the endpoint provides one.
+    cert_cache: Option<Arc<CertCache>>,
 }
 
 impl ServerHandshake {
@@ -138,7 +182,25 @@ impl ServerHandshake {
             kx_secret,
             serial_nonce: u64::from_be_bytes(random[..8].try_into().unwrap()),
             negotiated_cipher: None,
+            tp_override: None,
+            cert_cache: None,
         }
+    }
+
+    /// Like [`ServerHandshake::new`], but shares the endpoint's config Arc
+    /// while overriding the QUIC transport parameters for this connection
+    /// (they carry per-connection CIDs and tokens), and optionally attaches a
+    /// shared per-SNI certificate cache. Draws the same RNG bytes as `new`.
+    pub fn with_overrides(
+        config: Arc<ServerConfig>,
+        quic_transport_params: Option<Vec<u8>>,
+        cert_cache: Option<Arc<CertCache>>,
+        rng: &mut dyn RngCore,
+    ) -> Self {
+        let mut hs = ServerHandshake::new(config, rng);
+        hs.tp_override = quic_transport_params;
+        hs.cert_cache = cert_cache;
+        hs
     }
 
     /// Feeds handshake bytes received at `level`.
@@ -147,10 +209,11 @@ impl ServerHandshake {
         level: Level,
         bytes: &[u8],
     ) -> Result<Vec<TlsEvent>, TlsError> {
-        let msgs = Handshake::decode_stream(bytes).map_err(|_| TlsError::Decode("handshake"))?;
+        let msgs =
+            Handshake::decode_stream_raw(bytes).map_err(|_| TlsError::Decode("handshake"))?;
         let mut events = Vec::new();
-        for msg in msgs {
-            self.on_message(level, msg, &mut events)?;
+        for (msg, raw) in msgs {
+            self.on_message(level, msg, raw, &mut events)?;
         }
         Ok(events)
     }
@@ -159,6 +222,7 @@ impl ServerHandshake {
         &mut self,
         level: Level,
         msg: Handshake,
+        raw: &[u8],
         events: &mut Vec<TlsEvent>,
     ) -> Result<(), TlsError> {
         match (&self.state, msg) {
@@ -166,7 +230,7 @@ impl ServerHandshake {
                 if level != Level::Initial {
                     return Err(TlsError::UnexpectedMessage("ClientHello level"));
                 }
-                self.process_client_hello(ch, events)
+                self.process_client_hello(ch, raw, events)
             }
             (State::WaitClientFinished, Handshake::Finished(verify)) => {
                 let hs = self.hs_secrets.clone().expect("handshake secrets installed");
@@ -175,8 +239,7 @@ impl ServerHandshake {
                     self.state = State::Failed;
                     return Err(TlsError::BadFinished);
                 }
-                let encoded = Handshake::Finished(verify).encode();
-                self.transcript.add(&encoded);
+                self.transcript.add(raw);
                 self.state = State::Complete;
                 events.push(TlsEvent::Complete);
                 Ok(())
@@ -194,10 +257,11 @@ impl ServerHandshake {
     fn process_client_hello(
         &mut self,
         ch: ClientHello,
+        raw: &[u8],
         events: &mut Vec<TlsEvent>,
     ) -> Result<(), TlsError> {
-        let encoded = Handshake::ClientHello(ch.clone()).encode();
-        self.transcript.add(&encoded);
+        // Hash the received wire bytes directly instead of re-encoding.
+        self.transcript.add(raw);
 
         // Extract offer facts.
         let mut info = ClientHelloInfo::default();
@@ -229,8 +293,10 @@ impl ServerHandshake {
             return Err(self.fail(Alert::ProtocolVersion, "client lacks TLS 1.3"));
         }
 
-        // Certificate selection drives the paper's no-SNI outcomes.
-        let cert = self.select_certificate(&info)?;
+        // Certificate selection drives the paper's no-SNI outcomes. The
+        // selected chain and its encoding are cached per SNI when the
+        // endpoint shares a cache.
+        let chain = self.select_chain(&info)?;
 
         // ALPN.
         let suppress_alpn = self.config.no_alpn_without_sni && info.server_name.is_none();
@@ -307,7 +373,8 @@ impl ServerHandshake {
         if let Some(p) = &selected_alpn {
             ee.push(Extension::Alpn(vec![p.clone()]));
         }
-        if let Some(tp) = &self.config.quic_transport_params {
+        if let Some(tp) = self.tp_override.as_ref().or(self.config.quic_transport_params.as_ref())
+        {
             ee.push(Extension::QuicTransportParameters(tp.clone()));
         }
         for (t, body) in &self.config.extra_ee_extensions {
@@ -315,15 +382,14 @@ impl ServerHandshake {
         }
         let mut flight = Handshake::EncryptedExtensions(ee).encode();
 
-        // Certificate.
-        let cert_msg = Handshake::Certificate(vec![cert.clone()]).encode();
-        flight.extend_from_slice(&cert_msg);
+        // Certificate: the encoded message comes straight from the cache.
+        flight.extend_from_slice(&chain.encoded);
 
         // CertificateVerify over the transcript through Certificate.
         {
             let mut t = self.transcript.clone();
             t.add(&flight);
-            let sig = sim_signature(&cert.public_key, &t.hash());
+            let sig = sim_signature(&chain.cert.public_key, &t.hash());
             let cv = Handshake::CertificateVerify(0x0807, sig).encode();
             flight.extend_from_slice(&cv);
         }
@@ -366,6 +432,41 @@ impl ServerHandshake {
         events.push(TlsEvent::Complete);
         self.state = State::Complete;
         Ok(())
+    }
+
+    /// Selects the chain for `info` and encodes its Certificate message,
+    /// through the shared per-SNI cache when one is attached. No-SNI error
+    /// certificates carry a per-connection serial, so that path bypasses the
+    /// cache entirely.
+    fn select_chain(&mut self, info: &ClientHelloInfo) -> Result<Arc<CachedChain>, TlsError> {
+        let per_connection = info.server_name.is_none()
+            && matches!(self.config.no_sni, NoSniBehavior::SelfSignedError(_));
+        let cache = match (&self.cert_cache, per_connection) {
+            (Some(cache), false) => Arc::clone(cache),
+            _ => {
+                let cert = self.select_certificate(info)?;
+                let encoded = Handshake::Certificate(vec![cert.clone()]).encode();
+                return Ok(Arc::new(CachedChain { cert, encoded }));
+            }
+        };
+        // Prefix the key so an (unusual but legal) empty SNI cannot collide
+        // with the no-SNI entry.
+        let key = match &info.server_name {
+            Some(name) => format!("sni:{name}"),
+            None => "no-sni".to_string(),
+        };
+        if let Some(chain) = cache.entries.lock().unwrap().get(&key) {
+            return Ok(Arc::clone(chain));
+        }
+        let cert = self.select_certificate(info)?;
+        let encoded = Handshake::Certificate(vec![cert.clone()]).encode();
+        let chain = Arc::new(CachedChain { cert, encoded });
+        let mut entries = cache.entries.lock().unwrap();
+        if entries.len() >= CERT_CACHE_MAX {
+            entries.clear();
+        }
+        entries.insert(key, Arc::clone(&chain));
+        Ok(chain)
     }
 
     fn select_certificate(&mut self, info: &ClientHelloInfo) -> Result<Certificate, TlsError> {
@@ -574,6 +675,91 @@ mod tests {
         assert_eq!(
             server.client_hello().unwrap().quic_transport_params.as_deref(),
             Some([1, 2, 3].as_slice())
+        );
+    }
+
+    /// Drives a handshake through `with_overrides` with a shared cert cache.
+    fn run_with_overrides(
+        server_cfg: &Arc<ServerConfig>,
+        client_cfg: ClientConfig,
+        tp: Option<Vec<u8>>,
+        cache: &Arc<CertCache>,
+        seed: u64,
+    ) -> (ClientHandshake, ServerHandshake) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mut client, ch) = ClientHandshake::start(client_cfg, &mut rng);
+        let mut server = ServerHandshake::with_overrides(
+            Arc::clone(server_cfg),
+            tp,
+            Some(Arc::clone(cache)),
+            &mut rng,
+        );
+        let server_events = server.on_handshake_data(Level::Initial, &ch).unwrap();
+        for ev in &server_events {
+            if let TlsEvent::SendHandshake(level, bytes) = ev {
+                for ev in client.on_handshake_data(*level, bytes).unwrap() {
+                    if let TlsEvent::SendHandshake(l2, b2) = ev {
+                        server.on_handshake_data(l2, &b2).unwrap();
+                    }
+                }
+            }
+        }
+        (client, server)
+    }
+
+    #[test]
+    fn cert_cache_shared_across_connections() {
+        let server_cfg = Arc::new(ServerConfig::single_cert(test_cert("example.com")));
+        let cache = Arc::new(CertCache::new());
+        assert!(cache.is_empty());
+        for seed in [7, 8] {
+            let client_cfg = ClientConfig {
+                server_name: Some("example.com".into()),
+                ..ClientConfig::default()
+            };
+            let (client, server) =
+                run_with_overrides(&server_cfg, client_cfg, None, &cache, seed);
+            assert!(client.is_complete() && server.is_complete());
+            assert_eq!(
+                client.peer_info().unwrap().certificates[0].subject,
+                "example.com"
+            );
+        }
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn error_certs_bypass_cache() {
+        // The no-SNI error certificate embeds a per-connection serial, so
+        // caching it would leak one connection's cert into another.
+        let server_cfg = Arc::new(ServerConfig {
+            no_sni: NoSniBehavior::SelfSignedError("invalid2.invalid".into()),
+            ..ServerConfig::single_cert(test_cert("google.example"))
+        });
+        let cache = Arc::new(CertCache::new());
+        let (client, _) =
+            run_with_overrides(&server_cfg, ClientConfig::default(), None, &cache, 9);
+        assert!(client.peer_info().unwrap().certificates[0].is_self_signed());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn tp_override_beats_config_params() {
+        let server_cfg = Arc::new(ServerConfig {
+            quic_transport_params: Some(vec![9, 9, 9]),
+            ..ServerConfig::single_cert(test_cert("example.com"))
+        });
+        let cache = Arc::new(CertCache::new());
+        let client_cfg = ClientConfig {
+            server_name: Some("example.com".into()),
+            quic_transport_params: Some(vec![1]),
+            ..ClientConfig::default()
+        };
+        let (client, _) =
+            run_with_overrides(&server_cfg, client_cfg, Some(vec![4, 2]), &cache, 11);
+        assert_eq!(
+            client.peer_info().unwrap().quic_transport_params.as_deref(),
+            Some([4, 2].as_slice())
         );
     }
 

@@ -9,6 +9,7 @@
 //! likely missing (RFC 9002-style probe timeouts without owning a timer).
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -19,9 +20,10 @@ use qtls::{Level, TlsError, TlsEvent};
 
 use crate::error::TransportError;
 use crate::frame::Frame;
-use crate::keys::{initial_keys, PacketKeys};
+use crate::keys::{initial_keys_shared, InitialPair, PacketKeys};
 use crate::packet::{
-    decode_first, seal_long, seal_short, ConnectionId, KeySource, Packet, PacketType,
+    decode_first, seal_long_into, seal_short_into, ConnectionId, KeySource, Packet, PacketType,
+    SealScratch,
 };
 use crate::tparams::TransportParameters;
 use crate::version::Version;
@@ -137,7 +139,8 @@ impl CryptoReassembler {
 
 #[derive(Default)]
 struct OpenKeys {
-    initial: Option<PacketKeys>,
+    /// Shared Initial pair: we open with `server`, seal with `client`.
+    initial_pair: Option<Arc<InitialPair>>,
     handshake: Option<PacketKeys>,
     app: Option<PacketKeys>,
 }
@@ -145,7 +148,7 @@ struct OpenKeys {
 impl KeySource for OpenKeys {
     fn keys_for(&self, ty: PacketType) -> Option<&PacketKeys> {
         match ty {
-            PacketType::Initial => self.initial.as_ref(),
+            PacketType::Initial => self.initial_pair.as_deref().map(|p| &p.server),
             PacketType::Handshake => self.handshake.as_ref(),
             PacketType::OneRtt => self.app.as_ref(),
             _ => None,
@@ -153,9 +156,41 @@ impl KeySource for OpenKeys {
     }
 }
 
+/// Reusable per-worker buffers for the handshake hot path. A scanner worker
+/// owns one scratch and threads it through every connection it drives
+/// ([`ClientConnection::new_reusing`] takes the buffers,
+/// [`ClientConnection::recycle_into`] returns them), so steady-state
+/// handshakes reuse warm allocations instead of growing fresh ones.
+#[derive(Default)]
+pub struct HandshakeScratch {
+    /// Packet-sealing buffers (header writer + padding buffer).
+    seal: SealScratch,
+    /// Frame payload under construction.
+    payload: Writer,
+    /// Spare datagram buffers, recycled via
+    /// [`ClientConnection::recycle_datagram`].
+    pool: Vec<Vec<u8>>,
+    /// Reply-datagram container the scan loop reuses between attempts.
+    pub replies: Vec<Vec<u8>>,
+}
+
+/// Cap on pooled datagram buffers — a handshake keeps at most a handful of
+/// datagrams in flight, so anything beyond this is dead weight.
+const DATAGRAM_POOL_MAX: usize = 8;
+
+impl HandshakeScratch {
+    /// Creates an empty scratch; buffers grow on first use and are then
+    /// reused across connections.
+    pub fn new() -> Self {
+        HandshakeScratch::default()
+    }
+}
+
 const SPACE_INITIAL: usize = 0;
 const SPACE_HANDSHAKE: usize = 1;
 const SPACE_APP: usize = 2;
+
+use crate::packet::varint_len;
 
 /// Sans-IO QUIC client connection.
 pub struct ClientConnection {
@@ -165,7 +200,7 @@ pub struct ClientConnection {
     dcid: ConnectionId,
     tls: ClientHandshake,
     open_keys: OpenKeys,
-    seal_initial: Option<PacketKeys>,
+    scratch: HandshakeScratch,
     seal_handshake: Option<PacketKeys>,
     seal_app: Option<PacketKeys>,
     next_pn: [u64; 3],
@@ -201,26 +236,53 @@ pub struct ClientConnection {
 impl ClientConnection {
     /// Creates a connection and queues the padded Initial datagram.
     pub fn new(config: ClientConfig, seed: u64) -> Self {
-        Self::build(config, seed, false)
+        Self::build(config, seed, false, HandshakeScratch::new())
     }
 
     /// [`ClientConnection::new`] with event tracing enabled from the first
     /// attempt (so the initial key derivation is captured too).
     pub fn new_traced(config: ClientConfig, seed: u64) -> Self {
-        Self::build(config, seed, true)
+        Self::build(config, seed, true, HandshakeScratch::new())
     }
 
-    fn build(config: ClientConfig, seed: u64, traced: bool) -> Self {
+    /// [`ClientConnection::new`] taking a worker's warm [`HandshakeScratch`]
+    /// buffers; return them with [`ClientConnection::recycle_into`] when the
+    /// connection is done.
+    pub fn new_reusing(config: ClientConfig, seed: u64, scratch: &mut HandshakeScratch) -> Self {
+        Self::build(config, seed, false, std::mem::take(scratch))
+    }
+
+    /// Traced variant of [`ClientConnection::new_reusing`].
+    pub fn new_traced_reusing(
+        config: ClientConfig,
+        seed: u64,
+        scratch: &mut HandshakeScratch,
+    ) -> Self {
+        Self::build(config, seed, true, std::mem::take(scratch))
+    }
+
+    fn build(config: ClientConfig, seed: u64, traced: bool, scratch: HandshakeScratch) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let version = config.versions.first().copied().unwrap_or(Version::V1);
+        // Placeholder TLS engine, replaced by `start_attempt` before any
+        // byte is sent: an empty offer skips the key-share scalar
+        // multiplications a default ClientHello would compute and discard.
+        let placeholder_tls_cfg = qtls::ClientConfig {
+            server_name: None,
+            alpn: Vec::new(),
+            cipher_suites: Vec::new(),
+            groups: Vec::new(),
+            quic_transport_params: None,
+            legacy_session_id: false,
+        };
         let mut conn = ClientConnection {
             config,
             version,
             scid: ConnectionId::empty(),
             dcid: ConnectionId::empty(),
-            tls: ClientHandshake::start(qtls::ClientConfig::default(), &mut rng).0,
+            tls: ClientHandshake::start(placeholder_tls_cfg, &mut rng).0,
             open_keys: OpenKeys::default(),
-            seal_initial: None,
+            scratch,
             seal_handshake: None,
             seal_app: None,
             next_pn: [0; 3],
@@ -266,10 +328,9 @@ impl ClientConnection {
             }
         };
 
-        let (client_keys, server_keys) = initial_keys(version, self.dcid.as_slice());
+        let pair = initial_keys_shared(version, self.dcid.as_slice());
         self.note(|| telemetry::EventKind::KeyDerived { level: "initial" });
-        self.seal_initial = Some(client_keys);
-        self.open_keys = OpenKeys { initial: Some(server_keys), handshake: None, app: None };
+        self.open_keys = OpenKeys { initial_pair: Some(pair), handshake: None, app: None };
         self.seal_handshake = None;
         self.seal_app = None;
         self.next_pn = [0; 3];
@@ -295,22 +356,28 @@ impl ClientConnection {
     /// retransmission: keeping retransmits at full size keeps the server's
     /// 3× anti-amplification budget (RFC 9000 §8.1) open.
     fn push_initial_ch(&mut self) {
-        let mut payload = Writer::new();
-        Frame::Crypto { offset: 0, data: self.ch_bytes.clone() }.encode(&mut payload);
-        let keys = self.seal_initial.as_ref().expect("initial keys installed");
-        let probe = seal_long(
-            PacketType::Initial,
-            self.version,
-            &self.dcid,
-            &self.scid,
-            &self.retry_token,
-            self.next_pn[SPACE_INITIAL],
-            payload.as_slice(),
-            keys,
-            0,
-        );
-        let deficit = 1200usize.saturating_sub(probe.len());
-        let datagram = seal_long(
+        let payload = &mut self.scratch.payload;
+        payload.clear();
+        Frame::encode_crypto(payload, 0, &self.ch_bytes);
+        let keys =
+            &self.open_keys.initial_pair.as_deref().expect("initial keys installed").client;
+        // Padding arithmetic: the unpadded packet's size is fully determined
+        // by the header fields and payload length, so compute the 1200-byte
+        // deficit directly instead of sealing a probe packet first.
+        let unpadded_header = 1 // first byte
+            + 4 // version
+            + 1 + self.dcid.len()
+            + 1 + self.scid.len()
+            + varint_len(self.retry_token.len() as u64) + self.retry_token.len()
+            + varint_len((4 + payload.len() + keys.tag_len()) as u64)
+            + 4; // packet number
+        let unpadded = unpadded_header + payload.len() + keys.tag_len();
+        let deficit = 1200usize.saturating_sub(unpadded);
+        let mut datagram = self.scratch.pool.pop().unwrap_or_default();
+        datagram.clear();
+        seal_long_into(
+            &mut datagram,
+            &mut self.scratch.seal,
             PacketType::Initial,
             self.version,
             &self.dcid,
@@ -321,6 +388,7 @@ impl ClientConnection {
             keys,
             payload.len() + deficit,
         );
+        debug_assert!(datagram.len() >= 1200 || deficit == 0);
         self.next_pn[SPACE_INITIAL] += 1;
         self.tx.push(datagram);
     }
@@ -345,11 +413,16 @@ impl ClientConnection {
             let Some(keys) = self.seal_handshake.as_ref() else {
                 return false;
             };
-            let mut payload = Writer::new();
+            let payload = &mut self.scratch.payload;
+            payload.clear();
             let largest = self.largest_recv[SPACE_HANDSHAKE].unwrap_or(0);
-            Frame::Ack { largest, delay: 0, ranges: vec![(0, largest)] }.encode(&mut payload);
-            Frame::Crypto { offset: 0, data: self.sent_finished.clone() }.encode(&mut payload);
-            let pkt = seal_long(
+            Frame::encode_ack_single(payload, largest, 0);
+            Frame::encode_crypto(payload, 0, &self.sent_finished);
+            let mut pkt = self.scratch.pool.pop().unwrap_or_default();
+            pkt.clear();
+            seal_long_into(
+                &mut pkt,
+                &mut self.scratch.seal,
                 PacketType::Handshake,
                 self.version,
                 &self.dcid,
@@ -365,6 +438,21 @@ impl ClientConnection {
             return true;
         }
         false
+    }
+
+    /// Returns the connection's scratch buffers to a worker-owned scratch so
+    /// the next connection starts with warm allocations.
+    pub fn recycle_into(&mut self, scratch: &mut HandshakeScratch) {
+        std::mem::swap(&mut self.scratch, scratch);
+    }
+
+    /// Hands a transmitted datagram buffer back for reuse (the scan loop
+    /// calls this after copying the bytes onto the simulated wire).
+    pub fn recycle_datagram(&mut self, mut buf: Vec<u8>) {
+        if self.scratch.pool.len() < DATAGRAM_POOL_MAX {
+            buf.clear();
+            self.scratch.pool.push(buf);
+        }
     }
 
     /// Turns on event buffering. The connection is sans-IO and knows no
@@ -456,10 +544,20 @@ impl ClientConnection {
             self.state == ConnectionState::Established,
             "stream data requires an established connection"
         );
-        let mut payload = Writer::new();
-        Frame::Stream { id, offset: 0, fin, data: data.to_vec() }.encode(&mut payload);
+        let payload = &mut self.scratch.payload;
+        payload.clear();
+        Frame::encode_stream(payload, id, 0, fin, data);
         let keys = self.seal_app.as_ref().expect("1-RTT keys installed");
-        let pkt = seal_short(&self.dcid, self.next_pn[SPACE_APP], payload.as_slice(), keys);
+        let mut pkt = self.scratch.pool.pop().unwrap_or_default();
+        pkt.clear();
+        seal_short_into(
+            &mut pkt,
+            &mut self.scratch.seal,
+            &self.dcid,
+            self.next_pn[SPACE_APP],
+            payload.as_slice(),
+            keys,
+        );
         self.next_pn[SPACE_APP] += 1;
         self.tx.push(pkt);
     }
@@ -704,49 +802,59 @@ impl ClientConnection {
     }
 
     /// Builds outgoing datagrams: pending CRYPTO, then ACKs per space.
+    /// Packets are sealed directly into one pooled datagram buffer, so the
+    /// coalesced Initial-ACK + Handshake(Finished) + 1-RTT ACK flight costs
+    /// no allocation once the scratch is warm.
     fn flush(&mut self) {
-        let mut datagram = Vec::new();
+        let mut datagram = self.scratch.pool.pop().unwrap_or_default();
+        datagram.clear();
 
         // ACK in Initial space (the server waits for this to stop
         // retransmitting; we always ack once we've seen anything).
-        if self.ack_pending[SPACE_INITIAL] && self.seal_initial.is_some() {
-            let mut payload = Writer::new();
-            let largest = self.largest_recv[SPACE_INITIAL].unwrap_or(0);
-            Frame::Ack { largest, delay: 0, ranges: vec![(0, largest)] }.encode(&mut payload);
-            let keys = self.seal_initial.as_ref().expect("initial seal keys");
-            datagram.extend(seal_long(
-                PacketType::Initial,
-                self.version,
-                &self.dcid,
-                &self.scid,
-                b"",
-                self.next_pn[SPACE_INITIAL],
-                payload.as_slice(),
-                keys,
-                20,
-            ));
-            self.next_pn[SPACE_INITIAL] += 1;
-            self.ack_pending[SPACE_INITIAL] = false;
+        if self.ack_pending[SPACE_INITIAL] {
+            if let Some(pair) = self.open_keys.initial_pair.as_deref() {
+                let payload = &mut self.scratch.payload;
+                payload.clear();
+                let largest = self.largest_recv[SPACE_INITIAL].unwrap_or(0);
+                Frame::encode_ack_single(payload, largest, 0);
+                seal_long_into(
+                    &mut datagram,
+                    &mut self.scratch.seal,
+                    PacketType::Initial,
+                    self.version,
+                    &self.dcid,
+                    &self.scid,
+                    b"",
+                    self.next_pn[SPACE_INITIAL],
+                    payload.as_slice(),
+                    &pair.client,
+                    20,
+                );
+                self.next_pn[SPACE_INITIAL] += 1;
+                self.ack_pending[SPACE_INITIAL] = false;
+            }
         }
 
         // Handshake space: client Finished plus ACK.
         let pending = std::mem::take(&mut self.crypto_tx_pending);
-        let mut handshake_payload = Writer::new();
+        let handshake_payload = &mut self.scratch.payload;
+        handshake_payload.clear();
         if self.ack_pending[SPACE_HANDSHAKE] {
             let largest = self.largest_recv[SPACE_HANDSHAKE].unwrap_or(0);
-            Frame::Ack { largest, delay: 0, ranges: vec![(0, largest)] }
-                .encode(&mut handshake_payload);
+            Frame::encode_ack_single(handshake_payload, largest, 0);
             self.ack_pending[SPACE_HANDSHAKE] = false;
         }
         for (lvl, bytes) in pending {
             if lvl == Level::Handshake {
                 self.sent_finished.extend_from_slice(&bytes);
-                Frame::Crypto { offset: 0, data: bytes }.encode(&mut handshake_payload);
+                Frame::encode_crypto(handshake_payload, 0, &bytes);
             }
         }
         if !handshake_payload.is_empty() {
             if let Some(keys) = self.seal_handshake.as_ref() {
-                datagram.extend(seal_long(
+                seal_long_into(
+                    &mut datagram,
+                    &mut self.scratch.seal,
                     PacketType::Handshake,
                     self.version,
                     &self.dcid,
@@ -756,7 +864,7 @@ impl ClientConnection {
                     handshake_payload.as_slice(),
                     keys,
                     20,
-                ));
+                );
                 self.next_pn[SPACE_HANDSHAKE] += 1;
             }
         }
@@ -764,21 +872,28 @@ impl ClientConnection {
         // App space ACK.
         if self.ack_pending[SPACE_APP] {
             if let Some(keys) = self.seal_app.as_ref() {
-                let mut payload = Writer::new();
+                let payload = &mut self.scratch.payload;
+                payload.clear();
                 let largest = self.largest_recv[SPACE_APP].unwrap_or(0);
-                Frame::Ack { largest, delay: 0, ranges: vec![(0, largest)] }.encode(&mut payload);
-                datagram.extend(seal_short(
+                Frame::encode_ack_single(payload, largest, 0);
+                seal_short_into(
+                    &mut datagram,
+                    &mut self.scratch.seal,
                     &self.dcid,
                     self.next_pn[SPACE_APP],
                     payload.as_slice(),
                     keys,
-                ));
+                );
                 self.next_pn[SPACE_APP] += 1;
                 self.ack_pending[SPACE_APP] = false;
             }
         }
 
-        if !datagram.is_empty() {
+        if datagram.is_empty() {
+            if self.scratch.pool.len() < DATAGRAM_POOL_MAX {
+                self.scratch.pool.push(datagram);
+            }
+        } else {
             self.tx.push(datagram);
         }
     }

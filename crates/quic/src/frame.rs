@@ -127,6 +127,34 @@ impl Frame {
         }
     }
 
+    /// Encodes an ACK covering the single contiguous range `0..=largest` —
+    /// byte-identical to `Frame::Ack { largest, delay, ranges: vec![(0, largest)] }.encode(w)`
+    /// without building the range vector.
+    pub fn encode_ack_single(w: &mut Writer, largest: u64, delay: u64) {
+        w.put_varint(0x02);
+        w.put_varint(largest);
+        w.put_varint(delay);
+        w.put_varint(0); // range count - 1
+        w.put_varint(largest); // first ack range: largest - smallest(0)
+    }
+
+    /// Encodes a CRYPTO frame from a borrowed slice — byte-identical to
+    /// `Frame::Crypto { offset, data: data.to_vec() }.encode(w)` without the copy.
+    pub fn encode_crypto(w: &mut Writer, offset: u64, data: &[u8]) {
+        w.put_varint(0x06);
+        w.put_varint(offset);
+        w.put_varvec(data);
+    }
+
+    /// Encodes a STREAM frame (always OFF|LEN, as [`Frame::encode`] does)
+    /// from a borrowed slice.
+    pub fn encode_stream(w: &mut Writer, id: u64, offset: u64, fin: bool, data: &[u8]) {
+        w.put_varint(0x08 | 0x04 | 0x02 | u64::from(fin));
+        w.put_varint(id);
+        w.put_varint(offset);
+        w.put_varvec(data);
+    }
+
     /// Decodes every frame in `payload`.
     pub fn decode_all(payload: &[u8]) -> Result<Vec<Frame>> {
         let mut r = Reader::new(payload);
@@ -275,6 +303,31 @@ mod tests {
             reason: String::new(),
             is_app: true,
         });
+    }
+
+    /// The borrowed-slice encode helpers must stay byte-identical to the
+    /// owned `Frame::encode` forms — conn.rs relies on this to keep the
+    /// allocation-free fast path wire-compatible.
+    #[test]
+    fn encode_helpers_match_owned_frames() {
+        for largest in [0u64, 5, 1000] {
+            let mut a = Writer::new();
+            Frame::Ack { largest, delay: 0, ranges: vec![(0, largest)] }.encode(&mut a);
+            let mut b = Writer::new();
+            Frame::encode_ack_single(&mut b, largest, 0);
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+        let data = vec![0xabu8; 300];
+        let mut a = Writer::new();
+        Frame::Crypto { offset: 7, data: data.clone() }.encode(&mut a);
+        let mut b = Writer::new();
+        Frame::encode_crypto(&mut b, 7, &data);
+        assert_eq!(a.as_slice(), b.as_slice());
+        let mut a = Writer::new();
+        Frame::Stream { id: 0, offset: 12, fin: true, data: data.clone() }.encode(&mut a);
+        let mut b = Writer::new();
+        Frame::encode_stream(&mut b, 0, 12, true, &data);
+        assert_eq!(a.as_slice(), b.as_slice());
     }
 
     #[test]

@@ -1,11 +1,38 @@
 //! QUIC packet protection keys (RFC 9001 §5).
 
-use std::sync::OnceLock;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use qcrypto::aead::{Aead, AeadAlgorithm, HeaderProtector};
 use qcrypto::hkdf;
 
 use crate::version::Version;
+
+/// Serialized `HkdfLabel` infos for the three traffic-secret labels at one
+/// algorithm's key length. [`PacketKeys::from_secret`] runs for every
+/// handshake/app key install on every connection; the label serialization
+/// only depends on the algorithm, so it is computed once per process.
+struct SecretLabelInfos {
+    quic_key: Vec<u8>,
+    quic_iv: Vec<u8>,
+    quic_hp: Vec<u8>,
+}
+
+fn secret_infos(algorithm: AeadAlgorithm) -> &'static SecretLabelInfos {
+    static AES128: OnceLock<SecretLabelInfos> = OnceLock::new();
+    static KEY32: OnceLock<SecretLabelInfos> = OnceLock::new();
+    let cell = match algorithm {
+        AeadAlgorithm::Aes128Gcm => &AES128,
+        // AES-256-GCM and ChaCha20-Poly1305 share a 32-byte key length,
+        // which is all the label info depends on.
+        AeadAlgorithm::Aes256Gcm | AeadAlgorithm::ChaCha20Poly1305 => &KEY32,
+    };
+    cell.get_or_init(|| SecretLabelInfos {
+        quic_key: hkdf::label_info("quic key", &[], algorithm.key_len()),
+        quic_iv: hkdf::label_info("quic iv", &[], algorithm.iv_len()),
+        quic_hp: hkdf::label_info("quic hp", &[], algorithm.key_len()),
+    })
+}
 
 /// Per-direction packet protection material.
 pub struct PacketKeys {
@@ -19,15 +46,18 @@ impl PacketKeys {
     /// Derives key/IV/header-protection key from a traffic secret using the
     /// `"quic key"`, `"quic iv"`, `"quic hp"` labels.
     pub fn from_secret(algorithm: AeadAlgorithm, secret: &[u8]) -> Self {
-        let key = hkdf::expand_label(secret, "quic key", &[], algorithm.key_len());
-        let iv_bytes = hkdf::expand_label(secret, "quic iv", &[], algorithm.iv_len());
-        let hp_key = hkdf::expand_label(secret, "quic hp", &[], algorithm.key_len());
+        let infos = secret_infos(algorithm);
+        let klen = algorithm.key_len();
+        let mut key = [0u8; 32];
+        let mut hp_key = [0u8; 32];
         let mut iv = [0u8; 12];
-        iv.copy_from_slice(&iv_bytes);
+        hkdf::expand_into(secret, &infos.quic_key, &mut key[..klen]);
+        hkdf::expand_into(secret, &infos.quic_iv, &mut iv);
+        hkdf::expand_into(secret, &infos.quic_hp, &mut hp_key[..klen]);
         PacketKeys {
-            aead: Aead::new(algorithm, &key),
+            aead: Aead::new(algorithm, &key[..klen]),
             iv,
-            hp: HeaderProtector::new(algorithm, &hp_key),
+            hp: HeaderProtector::new(algorithm, &hp_key[..klen]),
             algorithm,
         }
     }
@@ -36,11 +66,12 @@ impl PacketKeys {
     /// precomputed — the Initial-keys fast path.
     fn from_secret_initial(secret: &[u8], infos: &InitialLabelInfos) -> Self {
         let algorithm = AeadAlgorithm::Aes128Gcm;
-        let key = hkdf::expand(secret, &infos.quic_key, 16);
-        let iv_bytes = hkdf::expand(secret, &infos.quic_iv, 12);
-        let hp_key = hkdf::expand(secret, &infos.quic_hp, 16);
+        let mut key = [0u8; 16];
+        let mut hp_key = [0u8; 16];
         let mut iv = [0u8; 12];
-        iv.copy_from_slice(&iv_bytes);
+        hkdf::expand_into(secret, &infos.quic_key, &mut key);
+        hkdf::expand_into(secret, &infos.quic_iv, &mut iv);
+        hkdf::expand_into(secret, &infos.quic_hp, &mut hp_key);
         PacketKeys {
             aead: Aead::new(algorithm, &key),
             iv,
@@ -63,6 +94,12 @@ impl PacketKeys {
     /// unprotected packet number.
     pub fn seal(&self, packet_number: u64, aad: &[u8], payload: &[u8]) -> Vec<u8> {
         self.aead.seal(&self.nonce(packet_number), aad, payload)
+    }
+
+    /// AEAD-seals a packet payload, appending ciphertext || tag to `out` —
+    /// byte-identical to [`PacketKeys::seal`] without the allocation.
+    pub fn seal_into(&self, packet_number: u64, aad: &[u8], payload: &[u8], out: &mut Vec<u8>) {
+        self.aead.seal_into(&self.nonce(packet_number), aad, payload, out);
     }
 
     /// AEAD-opens a packet payload.
@@ -193,6 +230,55 @@ pub fn initial_keys(version: Version, dcid: &[u8]) -> (PacketKeys, PacketKeys) {
     InitialKeyCache::global().derive(version, dcid)
 }
 
+/// Both directions of Initial packet protection for one (version, DCID),
+/// shared between the client connection and the simulated server endpoint.
+pub struct InitialPair {
+    /// Keys protecting client→server Initial packets.
+    pub client: PacketKeys,
+    /// Keys protecting server→client Initial packets.
+    pub server: PacketKeys,
+}
+
+/// Memo key: version number plus the DCID padded into a fixed array —
+/// avoids allocating on lookup (DCIDs are ≤ 20 bytes by RFC 9000).
+type MemoKey = (u32, [u8; 20], u8);
+
+fn memo_key(version: Version, dcid: &[u8]) -> MemoKey {
+    let mut padded = [0u8; 20];
+    padded[..dcid.len()].copy_from_slice(dcid);
+    (version.0, padded, dcid.len() as u8)
+}
+
+/// Entry bound before the memo is dropped wholesale. Initial keys are a pure
+/// function of (version, DCID), so eviction only costs re-derivation.
+const INITIAL_MEMO_MAX: usize = 4096;
+
+fn initial_memo() -> &'static Mutex<HashMap<MemoKey, Arc<InitialPair>>> {
+    static MEMO: OnceLock<Mutex<HashMap<MemoKey, Arc<InitialPair>>>> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Memoized [`initial_keys`]: the client derives the pair once per
+/// (version, DCID) and the simulated server endpoint's derivation for the
+/// same Initial then hits the cache instead of re-running HKDF and the AES
+/// key schedules. Determinism is unaffected — the derivation is a pure
+/// function of its key, so a hit and a miss produce identical key material.
+pub fn initial_keys_shared(version: Version, dcid: &[u8]) -> Arc<InitialPair> {
+    debug_assert!(dcid.len() <= 20);
+    let key = memo_key(version, dcid);
+    let mut memo = initial_memo().lock().expect("initial key memo poisoned");
+    if let Some(pair) = memo.get(&key) {
+        return Arc::clone(pair);
+    }
+    let (client, server) = InitialKeyCache::global().derive(version, dcid);
+    let pair = Arc::new(InitialPair { client, server });
+    if memo.len() >= INITIAL_MEMO_MAX {
+        memo.clear();
+    }
+    memo.insert(key, Arc::clone(&pair));
+    pair
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +345,34 @@ mod tests {
                 assert_eq!(cs.hp_mask(&sample), ds.hp_mask(&sample));
             }
         }
+    }
+
+    /// The shared memo returns key material identical to a direct
+    /// derivation, and repeated lookups return the same cached pair.
+    #[test]
+    fn shared_memo_matches_direct() {
+        for version in [Version::V1, Version::DRAFT_29] {
+            for dcid in [b"cid-one!".as_slice(), b"another-cid"] {
+                let pair = initial_keys_shared(version, dcid);
+                let again = initial_keys_shared(version, dcid);
+                assert!(Arc::ptr_eq(&pair, &again));
+                let (dc, ds) = initial_keys(version, dcid);
+                let sealed = pair.client.seal(1, b"a", b"pt");
+                assert_eq!(dc.open(1, b"a", &sealed).unwrap(), b"pt");
+                let sealed = pair.server.seal(2, b"b", b"pt2");
+                assert_eq!(ds.open(2, b"b", &sealed).unwrap(), b"pt2");
+            }
+        }
+    }
+
+    #[test]
+    fn seal_into_matches_seal() {
+        let (client, _) = initial_keys(Version::V1, b"seal-into-cid");
+        let sealed = client.seal(11, b"aad", b"payload bytes");
+        let mut out = vec![0xee];
+        client.seal_into(11, b"aad", b"payload bytes", &mut out);
+        assert_eq!(out[0], 0xee);
+        assert_eq!(&out[1..], &sealed[..]);
     }
 
     #[test]

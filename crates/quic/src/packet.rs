@@ -109,6 +109,17 @@ pub fn encode_version_negotiation(
     w.into_vec()
 }
 
+/// Encoded size of a QUIC varint (RFC 9000 §16) — used to predict packet
+/// sizes arithmetically instead of sealing probe packets.
+pub(crate) fn varint_len(v: u64) -> usize {
+    match v {
+        0..=63 => 1,
+        64..=16383 => 2,
+        16384..=1_073_741_823 => 4,
+        _ => 8,
+    }
+}
+
 fn long_type_bits(ty: PacketType) -> u8 {
     match ty {
         PacketType::Initial => 0b00,
@@ -116,6 +127,23 @@ fn long_type_bits(ty: PacketType) -> u8 {
         PacketType::Handshake => 0b10,
         PacketType::Retry => 0b11,
         _ => unreachable!("not a long header type"),
+    }
+}
+
+/// Reusable buffers for packet sealing. A scanner seals several packets per
+/// handshake; routing them through one scratch keeps the header writer and
+/// padding buffer allocations out of the per-packet path.
+#[derive(Default)]
+pub struct SealScratch {
+    header: Writer,
+    padded: Vec<u8>,
+}
+
+impl SealScratch {
+    /// Creates an empty scratch; buffers grow on first use and are then
+    /// reused.
+    pub fn new() -> Self {
+        SealScratch::default()
     }
 }
 
@@ -134,15 +162,56 @@ pub fn seal_long(
     keys: &PacketKeys,
     pad_payload_to: usize,
 ) -> Vec<u8> {
-    let mut padded = payload.to_vec();
-    if padded.len() < pad_payload_to {
+    let mut out = Vec::new();
+    let mut scratch = SealScratch::new();
+    seal_long_into(
+        &mut out,
+        &mut scratch,
+        ty,
+        version,
+        dcid,
+        scid,
+        token,
+        packet_number,
+        payload,
+        keys,
+        pad_payload_to,
+    );
+    out
+}
+
+/// [`seal_long`] appending onto `out` (for coalesced datagrams) and reusing
+/// `scratch`'s buffers — byte-identical output, no per-packet allocation once
+/// the scratch is warm.
+#[allow(clippy::too_many_arguments)]
+pub fn seal_long_into(
+    out: &mut Vec<u8>,
+    scratch: &mut SealScratch,
+    ty: PacketType,
+    version: Version,
+    dcid: &ConnectionId,
+    scid: &ConnectionId,
+    token: &[u8],
+    packet_number: u64,
+    payload: &[u8],
+    keys: &PacketKeys,
+    pad_payload_to: usize,
+) {
+    let base = out.len();
+    let payload = if payload.len() < pad_payload_to {
         // PADDING frames are zero bytes; prepending keeps real frames last,
         // appending keeps them first — either is valid, we append.
-        padded.resize(pad_payload_to, 0);
-    }
+        scratch.padded.clear();
+        scratch.padded.extend_from_slice(payload);
+        scratch.padded.resize(pad_payload_to, 0);
+        &scratch.padded[..]
+    } else {
+        payload
+    };
 
     let pn_len = 4usize;
-    let mut header = Writer::new();
+    let header = &mut scratch.header;
+    header.clear();
     let first = 0x80 | 0x40 | (long_type_bits(ty) << 4) | (pn_len as u8 - 1);
     header.put_u8(first);
     header.put_u32(version.0);
@@ -153,18 +222,14 @@ pub fn seal_long(
         header.put_bytes(token);
     }
     // Length field: pn + ciphertext.
-    let length = pn_len + padded.len() + keys.tag_len();
+    let length = pn_len + payload.len() + keys.tag_len();
     header.put_varint(length as u64);
     let pn_offset = header.len();
     header.put_u32(packet_number as u32);
 
-    let aad = header.as_slice().to_vec();
-    let ciphertext = keys.seal(packet_number, &aad, &padded);
-
-    let mut out = header.into_vec();
-    out.extend_from_slice(&ciphertext);
-    apply_header_protection(&mut out, pn_offset, pn_len, keys, true);
-    out
+    out.extend_from_slice(header.as_slice());
+    keys.seal_into(packet_number, header.as_slice(), payload, out);
+    apply_header_protection(&mut out[base..], pn_offset, pn_len, keys, true);
 }
 
 /// Seals a 1-RTT short-header packet.
@@ -174,18 +239,32 @@ pub fn seal_short(
     payload: &[u8],
     keys: &PacketKeys,
 ) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut scratch = SealScratch::new();
+    seal_short_into(&mut out, &mut scratch, dcid, packet_number, payload, keys);
+    out
+}
+
+/// [`seal_short`] appending onto `out` and reusing `scratch`'s buffers.
+pub fn seal_short_into(
+    out: &mut Vec<u8>,
+    scratch: &mut SealScratch,
+    dcid: &ConnectionId,
+    packet_number: u64,
+    payload: &[u8],
+    keys: &PacketKeys,
+) {
+    let base = out.len();
     let pn_len = 4usize;
-    let mut header = Writer::new();
+    let header = &mut scratch.header;
+    header.clear();
     header.put_u8(0x40 | (pn_len as u8 - 1));
     header.put_bytes(dcid.as_slice());
     let pn_offset = header.len();
     header.put_u32(packet_number as u32);
-    let aad = header.as_slice().to_vec();
-    let ciphertext = keys.seal(packet_number, &aad, payload);
-    let mut out = header.into_vec();
-    out.extend_from_slice(&ciphertext);
-    apply_header_protection(&mut out, pn_offset, pn_len, keys, false);
-    out
+    out.extend_from_slice(header.as_slice());
+    keys.seal_into(packet_number, header.as_slice(), payload, out);
+    apply_header_protection(&mut out[base..], pn_offset, pn_len, keys, false);
 }
 
 fn apply_header_protection(
@@ -504,6 +583,58 @@ mod tests {
         assert_eq!(packets.len(), 2);
         assert_eq!(packets[0].ty, PacketType::Initial);
         assert_eq!(packets[1].ty, PacketType::Handshake);
+    }
+
+    /// The `_into` variants must append exactly what the allocating forms
+    /// return, including when the output buffer already holds a coalesced
+    /// packet (header protection must only touch the appended region).
+    #[test]
+    fn seal_into_variants_match_allocating_forms() {
+        let (client_keys, _) = initial_pair();
+        let dcid = ConnectionId::new(b"\x83\x94\xc8\xf0\x3e\x51\x57\x08");
+        let scid = ConnectionId::new(b"local");
+        let payload = vec![0x06, 0x00, 0x01, 0xab];
+        let long = seal_long(
+            PacketType::Initial,
+            Version::V1,
+            &dcid,
+            &scid,
+            b"tok",
+            2,
+            &payload,
+            &client_keys,
+            1162,
+        );
+        let mut scratch = SealScratch::new();
+        let mut out = b"existing".to_vec();
+        seal_long_into(
+            &mut out,
+            &mut scratch,
+            PacketType::Initial,
+            Version::V1,
+            &dcid,
+            &scid,
+            b"tok",
+            2,
+            &payload,
+            &client_keys,
+            1162,
+        );
+        assert_eq!(&out[..8], b"existing");
+        assert_eq!(&out[8..], &long[..]);
+
+        let short = seal_short(&ConnectionId::new(b"12345678"), 42, b"\x01", &client_keys);
+        let mut out2 = long.clone();
+        seal_short_into(
+            &mut out2,
+            &mut scratch,
+            &ConnectionId::new(b"12345678"),
+            42,
+            b"\x01",
+            &client_keys,
+        );
+        assert_eq!(&out2[..long.len()], &long[..]);
+        assert_eq!(&out2[long.len()..], &short[..]);
     }
 
     #[test]

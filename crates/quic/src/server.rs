@@ -4,20 +4,20 @@
 //! unpadded-probe handling, implementation-specific close wording).
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
 use qcodec::{Reader, Writer};
-use qtls::server::ServerHandshake;
+use qtls::server::{CertCache, ServerHandshake};
 use qtls::{Level, TlsError, TlsEvent};
 
 use crate::frame::Frame;
-use crate::keys::{initial_keys, PacketKeys};
+use crate::keys::{initial_keys_shared, InitialPair, PacketKeys};
 use crate::packet::{
-    decode_first, encode_version_negotiation, seal_long, seal_short, ConnectionId, KeySource,
-    Packet, PacketType,
+    decode_first, encode_version_negotiation, seal_long_into, seal_short_into, ConnectionId,
+    KeySource, Packet, PacketType, SealScratch,
 };
 use crate::tparams::TransportParameters;
 use crate::version::Version;
@@ -107,7 +107,10 @@ impl EndpointConfig {
 }
 
 struct OpenKeys {
-    initial: Option<PacketKeys>,
+    /// Shared Initial pair: the server opens with `client`, seals with
+    /// `server`. Because the pair is memoized process-wide, this derivation
+    /// is a cache hit when the scanning client already derived it.
+    initial_pair: Option<Arc<InitialPair>>,
     handshake: Option<PacketKeys>,
     app: Option<PacketKeys>,
 }
@@ -115,7 +118,7 @@ struct OpenKeys {
 impl KeySource for OpenKeys {
     fn keys_for(&self, ty: PacketType) -> Option<&PacketKeys> {
         match ty {
-            PacketType::Initial => self.initial.as_ref(),
+            PacketType::Initial => self.initial_pair.as_deref().map(|p| &p.client),
             PacketType::Handshake => self.handshake.as_ref(),
             PacketType::OneRtt => self.app.as_ref(),
             _ => None,
@@ -129,9 +132,15 @@ struct ServerConn {
     client_cid: ConnectionId,
     tls: ServerHandshake,
     open_keys: OpenKeys,
-    seal_initial: Option<PacketKeys>,
     seal_handshake: Option<PacketKeys>,
     seal_app: Option<PacketKeys>,
+    /// Per-SNI certificate/serialization cache shared across this
+    /// endpoint's connections.
+    cert_cache: Arc<CertCache>,
+    /// Reused packet-sealing buffers.
+    scratch: SealScratch,
+    /// Reused frame-payload writer.
+    payload: Writer,
     next_pn: [u64; 3],
     largest_recv: [Option<u64>; 3],
     /// Contiguous CRYPTO bytes already fed to TLS, per space. Retransmitted
@@ -155,7 +164,16 @@ pub struct Endpoint {
     handler_factory: Box<dyn Fn() -> Box<dyn StreamHandler> + Send>,
     conns: HashMap<u128, ServerConn>,
     insert_order: Vec<u128>,
-    rng: StdRng,
+    /// Base seed for per-flow RNGs. Per-connection randomness (server CID,
+    /// reset token, TLS nonces) is derived from `(seed, flow key)` rather
+    /// than drawn from one shared sequence, so what a flow observes never
+    /// depends on how many other flows arrived first — the property that
+    /// keeps parallel scan results identical at any worker count.
+    seed: u64,
+    /// Per-SNI cert-chain/serialization cache shared by this endpoint's
+    /// connections — simulated deployments answer every connection with the
+    /// same chain, so rebuilding/re-encoding it per handshake is waste.
+    cert_cache: Arc<CertCache>,
 }
 
 /// Cap on simultaneously tracked connections per endpoint (scan flows are
@@ -175,7 +193,8 @@ impl Endpoint {
             handler_factory,
             conns: HashMap::new(),
             insert_order: Vec::new(),
-            rng: StdRng::seed_from_u64(seed),
+            seed,
+            cert_cache: Arc::new(CertCache::new()),
         }
     }
 
@@ -220,7 +239,7 @@ impl Endpoint {
             let token = retry_token(from, self.config.cid_len as u64);
             if !initial_has_token(datagram, &token) {
                 let mut new_scid = vec![0u8; self.config.cid_len];
-                self.rng.fill_bytes(&mut new_scid);
+                flow_rng(self.seed, from, 1).fill_bytes(&mut new_scid);
                 let retry = crate::retry::encode_retry(
                     head.version,
                     &head.scid,
@@ -241,9 +260,10 @@ impl Endpoint {
             }
             let conn = ServerConn::new(
                 head.version,
-                &mut self.rng,
+                &mut flow_rng(self.seed, from, 0),
                 self.config.cid_len,
                 (self.handler_factory)(),
+                Arc::clone(&self.cert_cache),
             );
             self.conns.insert(from, conn);
             self.insert_order.push(from);
@@ -251,6 +271,17 @@ impl Endpoint {
         let conn = self.conns.get_mut(&from).expect("just inserted");
         conn.on_datagram(datagram, &self.config)
     }
+}
+
+/// Deterministic per-flow RNG: a hash of `(endpoint seed, flow key, salt)`
+/// seeds an independent stream per connection, so per-flow randomness is a
+/// pure function of the flow — never of arrival order.
+fn flow_rng(seed: u64, from: u128, salt: u8) -> StdRng {
+    let mut material = seed.to_be_bytes().to_vec();
+    material.extend_from_slice(&from.to_be_bytes());
+    material.push(salt);
+    let digest = qcrypto::sha256::digest(&material);
+    StdRng::seed_from_u64(u64::from_be_bytes(digest[..8].try_into().unwrap()))
 }
 
 /// Deterministic per-flow retry token (HMAC over the flow key).
@@ -304,6 +335,7 @@ impl ServerConn {
         rng: &mut StdRng,
         cid_len: usize,
         handler: Box<dyn StreamHandler>,
+        cert_cache: Arc<CertCache>,
     ) -> Self {
         let mut scid = vec![0u8; cid_len];
         rng.fill_bytes(&mut scid);
@@ -311,11 +343,13 @@ impl ServerConn {
             version,
             scid: ConnectionId(scid),
             client_cid: ConnectionId::empty(),
-            tls: ServerHandshake::new(Arc::new(qtls::ServerConfig::single_cert(placeholder_cert())), rng),
-            open_keys: OpenKeys { initial: None, handshake: None, app: None },
-            seal_initial: None,
+            tls: ServerHandshake::new(placeholder_server_config(), rng),
+            open_keys: OpenKeys { initial_pair: None, handshake: None, app: None },
             seal_handshake: None,
             seal_app: None,
+            cert_cache,
+            scratch: SealScratch::new(),
+            payload: Writer::new(),
             next_pn: [0; 3],
             largest_recv: [None; 3],
             crypto_consumed: [0; 3],
@@ -337,26 +371,33 @@ impl ServerConn {
         }
         // First Initial: derive keys from the client's DCID and instantiate
         // the real TLS engine (the placeholder in `new` avoids an Option).
-        if self.open_keys.initial.is_none() {
+        if self.open_keys.initial_pair.is_none() {
             let Some(head) = parse_long_header_prefix(datagram) else {
                 return Vec::new();
             };
-            let (client_keys, server_keys) = initial_keys(self.version, head.dcid.as_slice());
-            self.open_keys.initial = Some(client_keys);
-            self.seal_initial = Some(server_keys);
+            // Memoized: the client already derived this pair for the same
+            // (version, DCID), so this lookup skips the HKDF/AES schedules.
+            self.open_keys.initial_pair =
+                Some(initial_keys_shared(self.version, head.dcid.as_slice()));
             self.client_cid = head.scid.clone();
             let mut seeded = StdRng::seed_from_u64(u64::from_le_bytes(
                 self.scid.0.iter().cycle().take(8).copied().collect::<Vec<_>>().try_into().unwrap(),
             ));
-            let mut tls_config = (*config.tls).clone();
             let mut tp = config.transport_params.clone();
             tp.original_destination_connection_id = Some(head.dcid.0.clone());
             tp.initial_source_connection_id = Some(self.scid.0.clone());
             let mut token = [0u8; 16];
             seeded.fill_bytes(&mut token);
             tp.stateless_reset_token = Some(token);
-            tls_config.quic_transport_params = Some(tp.encode());
-            self.tls = ServerHandshake::new(Arc::new(tls_config), &mut seeded);
+            // Share the endpoint's Arc'd TLS config instead of cloning the
+            // whole cert chain per connection; the session-specific transport
+            // parameters ride in the override slot.
+            self.tls = ServerHandshake::with_overrides(
+                Arc::clone(&config.tls),
+                Some(tp.encode()),
+                Some(Arc::clone(&self.cert_cache)),
+                &mut seeded,
+            );
         }
 
         let mut out = Vec::new();
@@ -473,12 +514,16 @@ impl ServerConn {
         if let Some(sh) = initial_crypto {
             let mut flight_dgrams: Vec<Vec<u8>> = Vec::new();
             let mut datagram = Vec::new();
-            let mut payload = Writer::new();
+            let payload = &mut self.payload;
+            payload.clear();
             let largest = self.largest_recv[0].unwrap_or(0);
-            Frame::Ack { largest, delay: 0, ranges: vec![(0, largest)] }.encode(&mut payload);
-            Frame::Crypto { offset: 0, data: sh }.encode(&mut payload);
-            let keys = self.seal_initial.as_ref().expect("initial seal keys");
-            datagram.extend(seal_long(
+            Frame::encode_ack_single(payload, largest, 0);
+            Frame::encode_crypto(payload, 0, &sh);
+            let keys =
+                &self.open_keys.initial_pair.as_deref().expect("initial seal keys").server;
+            seal_long_into(
+                &mut datagram,
+                &mut self.scratch,
                 PacketType::Initial,
                 self.version,
                 &self.client_cid,
@@ -488,7 +533,7 @@ impl ServerConn {
                 payload.as_slice(),
                 keys,
                 0,
-            ));
+            );
             self.next_pn[0] += 1;
 
             if let Some(flight) = handshake_crypto {
@@ -496,10 +541,23 @@ impl ServerConn {
                 let keys = self.seal_handshake.as_ref().expect("handshake seal keys");
                 let mut offset = 0u64;
                 for chunk in flight.chunks(1000) {
-                    let mut payload = Writer::new();
-                    Frame::Crypto { offset, data: chunk.to_vec() }.encode(&mut payload);
+                    let payload = &mut self.payload;
+                    payload.clear();
+                    Frame::encode_crypto(payload, offset, chunk);
                     offset += chunk.len() as u64;
-                    let pkt = seal_long(
+                    // Predict the sealed size to decide coalescing before
+                    // sealing into the right buffer.
+                    let pkt_len = 1 + 4
+                        + 1 + self.client_cid.len()
+                        + 1 + self.scid.len()
+                        + crate::packet::varint_len((4 + payload.len() + keys.tag_len()) as u64)
+                        + 4 + payload.len() + keys.tag_len();
+                    if datagram.len() + pkt_len > 1452 {
+                        flight_dgrams.push(std::mem::take(&mut datagram));
+                    }
+                    seal_long_into(
+                        &mut datagram,
+                        &mut self.scratch,
                         PacketType::Handshake,
                         self.version,
                         &self.client_cid,
@@ -511,12 +569,6 @@ impl ServerConn {
                         0,
                     );
                     self.next_pn[1] += 1;
-                    if datagram.len() + pkt.len() <= 1452 {
-                        datagram.extend(pkt);
-                    } else {
-                        flight_dgrams.push(std::mem::take(&mut datagram));
-                        datagram = pkt;
-                    }
                 }
             }
             flight_dgrams.push(datagram);
@@ -530,16 +582,22 @@ impl ServerConn {
             // HANDSHAKE_DONE plus any server-initiated streams (H3 control).
             let mut sends = vec![];
             sends.extend(self.handler.on_connected());
-            let mut payload = Writer::new();
-            Frame::HandshakeDone.encode(&mut payload);
-            let largest = self.largest_recv[1].unwrap_or(0);
-            let _ = largest;
+            let payload = &mut self.payload;
+            payload.clear();
+            Frame::HandshakeDone.encode(payload);
             let keys = self.seal_app.as_ref().expect("1-RTT seal keys");
             for s in &sends {
-                Frame::Stream { id: s.id, offset: 0, fin: s.fin, data: s.data.clone() }
-                    .encode(&mut payload);
+                Frame::encode_stream(payload, s.id, 0, s.fin, &s.data);
             }
-            let pkt = seal_short(&self.client_cid, self.next_pn[2], payload.as_slice(), keys);
+            let mut pkt = Vec::new();
+            seal_short_into(
+                &mut pkt,
+                &mut self.scratch,
+                &self.client_cid,
+                self.next_pn[2],
+                payload.as_slice(),
+                keys,
+            );
             self.next_pn[2] += 1;
             self.post_cache = Some(pkt.clone());
             out.push(pkt);
@@ -561,15 +619,22 @@ impl ServerConn {
         let Some(keys) = self.seal_app.as_ref() else {
             return;
         };
-        let mut payload = Writer::new();
+        let payload = &mut self.payload;
+        payload.clear();
         for s in &sends {
-            Frame::Stream { id: s.id, offset: 0, fin: s.fin, data: s.data.clone() }
-                .encode(&mut payload);
+            Frame::encode_stream(payload, s.id, 0, s.fin, &s.data);
         }
         // Split into ≤1400-byte datagrams.
-        let bytes = payload.into_vec();
-        if bytes.len() <= 1400 {
-            let pkt = seal_short(&self.client_cid, self.next_pn[2], &bytes, keys);
+        if payload.len() <= 1400 {
+            let mut pkt = Vec::new();
+            seal_short_into(
+                &mut pkt,
+                &mut self.scratch,
+                &self.client_cid,
+                self.next_pn[2],
+                payload.as_slice(),
+                keys,
+            );
             self.next_pn[2] += 1;
             out.push(pkt);
         } else {
@@ -577,16 +642,24 @@ impl ServerConn {
             for s in sends {
                 for (i, chunk) in s.data.chunks(1200).enumerate() {
                     let is_last = (i + 1) * 1200 >= s.data.len();
-                    let mut payload = Writer::new();
-                    Frame::Stream {
-                        id: s.id,
-                        offset: (i * 1200) as u64,
-                        fin: s.fin && is_last,
-                        data: chunk.to_vec(),
-                    }
-                    .encode(&mut payload);
-                    let pkt =
-                        seal_short(&self.client_cid, self.next_pn[2], payload.as_slice(), keys);
+                    let payload = &mut self.payload;
+                    payload.clear();
+                    Frame::encode_stream(
+                        payload,
+                        s.id,
+                        (i * 1200) as u64,
+                        s.fin && is_last,
+                        chunk,
+                    );
+                    let mut pkt = Vec::new();
+                    seal_short_into(
+                        &mut pkt,
+                        &mut self.scratch,
+                        &self.client_cid,
+                        self.next_pn[2],
+                        payload.as_slice(),
+                        keys,
+                    );
                     self.next_pn[2] += 1;
                     out.push(pkt);
                 }
@@ -601,18 +674,22 @@ impl ServerConn {
             TlsError::PeerAlert(c) => crate::error::TransportError::crypto(c),
             _ => crate::error::TransportError::PROTOCOL_VIOLATION,
         };
-        let mut payload = Writer::new();
+        let payload = &mut self.payload;
+        payload.clear();
         Frame::ConnectionClose {
             error_code: code.0,
             frame_type: Some(0),
             reason: config.close_reason.clone(),
             is_app: false,
         }
-        .encode(&mut payload);
-        let Some(keys) = self.seal_initial.as_ref() else {
+        .encode(payload);
+        let Some(pair) = self.open_keys.initial_pair.as_deref() else {
             return;
         };
-        let pkt = seal_long(
+        let mut pkt = Vec::new();
+        seal_long_into(
+            &mut pkt,
+            &mut self.scratch,
             PacketType::Initial,
             self.version,
             &self.client_cid,
@@ -620,7 +697,7 @@ impl ServerConn {
             b"",
             self.next_pn[0],
             payload.as_slice(),
-            keys,
+            &pair.server,
             0,
         );
         self.next_pn[0] += 1;
@@ -631,4 +708,12 @@ impl ServerConn {
 
 fn placeholder_cert() -> qtls::Certificate {
     qtls::cert::self_signed(0, "placeholder.invalid", 0, [0u8; 32])
+}
+
+/// Shared placeholder TLS config: the real per-connection config is swapped in
+/// once the first Initial reveals the negotiated parameters, so every
+/// connection can share one allocation here instead of cloning a fresh one.
+fn placeholder_server_config() -> Arc<qtls::ServerConfig> {
+    static CFG: OnceLock<Arc<qtls::ServerConfig>> = OnceLock::new();
+    Arc::clone(CFG.get_or_init(|| Arc::new(qtls::ServerConfig::single_cert(placeholder_cert()))))
 }

@@ -1,8 +1,8 @@
 #!/bin/bash
 # Runs the `campaign` criterion group (the full scan-and-analyze pipeline
-# behind the paper's tables) plus the `sweep` worker-scaling group, and
-# appends one JSON line per run to BENCH_scan.json so successive PRs leave
-# a perf trajectory.
+# behind the paper's tables) plus the `sweep` worker-scaling, `telemetry`
+# tracing-tax, and `handshake` scheduler groups, and appends one JSON line
+# per run to BENCH_scan.json so successive PRs leave a perf trajectory.
 #
 # Usage: ./scripts/bench_scan.sh [output-file]
 set -euo pipefail
@@ -15,10 +15,14 @@ trap 'rm -f "$LOG"' EXIT
 cargo bench --bench paper -- campaign 2>&1 | tee "$LOG"
 cargo bench --bench sweep -- sweep 2>&1 | tee -a "$LOG"
 cargo bench --bench sweep -- telemetry 2>&1 | tee -a "$LOG"
+cargo bench --bench handshake -- handshake 2>&1 | tee -a "$LOG"
 
 # criterion text output: "<name>  time: [<low> <unit> <mid> <unit> <high> <unit>]"
+# (the offline stub harness prints "<name>: mean <x> ms ..." instead — both
+# formats are handled, always normalized to ms)
 extract() {
     awk -v name="$1" '
+        BEGIN { n = split(name, parts, "/"); base = parts[n] ":" }
         $0 ~ name { found = 1 }
         found && /time:/ {
             for (i = 1; i <= NF; i++) {
@@ -31,7 +35,18 @@ extract() {
                     exit
                 }
             }
+        }
+        index($0, base) && /mean/ {
+            for (i = 1; i <= NF; i++) {
+                if ($i == "mean") { printf "%.3f", $(i + 1); exit }
+            }
         }' "$LOG"
+}
+
+# makespan-model lines from benches/handshake.rs:
+# "handshake_model/<name> makespan_ms <x>" / "... ratio <x>"
+extract_model() {
+    awk -v name="$1" '$1 == name { printf "%s", $NF; exit }' "$LOG"
 }
 
 STATEFUL=$(extract "campaign/stateful_week18")
@@ -41,21 +56,44 @@ W4=$(extract "sweep/workers_4")
 W8=$(extract "sweep/workers_8")
 UNTRACED=$(extract "telemetry/scan_untraced")
 TRACED=$(extract "telemetry/scan_traced")
+HS_CHUNK8=$(extract "handshake/chunked_w8_loss50")
+HS_STEAL8=$(extract "handshake/stealing_w8_loss50")
+HS_STEAL1=$(extract "handshake/stealing_w1_loss50")
+HS_M_CHUNK8=$(extract_model "handshake_model/chunked_w8_loss50")
+HS_M_STEAL8=$(extract_model "handshake_model/stealing_w8_loss50")
+HS_M_SPEEDUP=$(extract_model "handshake_model/speedup_w8_loss50")
 
 # targets/s for the telemetry pair: each iteration scans 64 targets
 # (TELEMETRY_BENCH_TARGETS in benches/sweep.rs).
 pps() {
-    [ -n "$1" ] && awk -v ms="$1" 'BEGIN { printf "%.1f", 64 * 1000 / ms }'
+    [ -n "${1:-}" ] || return 0
+    awk -v ms="$1" 'BEGIN { printf "%.1f", 64 * 1000 / ms }'
 }
 PPS_OFF=$(pps "${UNTRACED:-}")
 PPS_ON=$(pps "${TRACED:-}")
 
-printf '{"date":"%s","commit":"%s","campaign_stateful_ms":%s,"campaign_weekly_ms":%s,"sweep_workers1_ms":%s,"sweep_workers4_ms":%s,"sweep_workers8_ms":%s,"scan_pps_tracing_off":%s,"scan_pps_tracing_on":%s}\n' \
+# handshakes/s: each handshake-group iteration scans 96 targets
+# (HANDSHAKE_BENCH_TARGETS in benches/handshake.rs).
+hps() {
+    [ -n "${1:-}" ] || return 0
+    awk -v ms="$1" 'BEGIN { printf "%.1f", 96 * 1000 / ms }'
+}
+HPS_CHUNK8=$(hps "${HS_CHUNK8:-}")
+HPS_STEAL8=$(hps "${HS_STEAL8:-}")
+HPS_M_CHUNK8=$(hps "${HS_M_CHUNK8:-}")
+HPS_M_STEAL8=$(hps "${HS_M_STEAL8:-}")
+
+printf '{"date":"%s","commit":"%s","campaign_stateful_ms":%s,"campaign_weekly_ms":%s,"sweep_workers1_ms":%s,"sweep_workers4_ms":%s,"sweep_workers8_ms":%s,"scan_pps_tracing_off":%s,"scan_pps_tracing_on":%s,"hs_chunked_w8_loss50_ms":%s,"hs_stealing_w8_loss50_ms":%s,"hs_stealing_w1_loss50_ms":%s,"hs_hps_chunked_w8_loss50":%s,"hs_hps_stealing_w8_loss50":%s,"hs_model_chunked_w8_loss50_ms":%s,"hs_model_stealing_w8_loss50_ms":%s,"hs_model_hps_chunked_w8_loss50":%s,"hs_model_hps_stealing_w8_loss50":%s,"hs_model_speedup_w8_loss50":%s}\n' \
     "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
     "${STATEFUL:-null}" "${WEEKLY:-null}" \
     "${W1:-null}" "${W4:-null}" "${W8:-null}" \
-    "${PPS_OFF:-null}" "${PPS_ON:-null}" >> "$OUT"
+    "${PPS_OFF:-null}" "${PPS_ON:-null}" \
+    "${HS_CHUNK8:-null}" "${HS_STEAL8:-null}" "${HS_STEAL1:-null}" \
+    "${HPS_CHUNK8:-null}" "${HPS_STEAL8:-null}" \
+    "${HS_M_CHUNK8:-null}" "${HS_M_STEAL8:-null}" \
+    "${HPS_M_CHUNK8:-null}" "${HPS_M_STEAL8:-null}" \
+    "${HS_M_SPEEDUP:-null}" >> "$OUT"
 
 echo "appended to $OUT:"
 tail -1 "$OUT"
